@@ -1,0 +1,53 @@
+"""Ablation: L1 port count for the 1-D SIMD machines.
+
+§II-A cites access bandwidth among the bottlenecks of scaling 1-D SIMD.
+Sweeping the L1 ports of the 8-way MMX128 machine shows which kernels
+are port-bound (the memory-heavy ones) and which are issue-bound.
+"""
+
+from repro.experiments.report import render_table
+from repro.kernels.base import execute
+from repro.kernels.registry import KERNELS
+from repro.timing.config import get_config, with_overrides
+from repro.timing.core import CoreModel
+
+KERNELS_UNDER_TEST = ("motion1", "ycc", "idct", "ltpfilt")
+PORTS = (1, 2, 4, 8)
+
+
+def _cycles(kernel, ports):
+    run = execute(KERNELS[kernel], "mmx128", seed=0)
+    config = with_overrides(get_config("mmx128", 8), mem_ports=ports)
+    model = CoreModel(config)
+    model.hier.warm(run.trace)
+    return model.run(run.trace).cycles
+
+
+def test_ablation_l1_ports(benchmark):
+    def work():
+        return {
+            kernel: {p: _cycles(kernel, p) for p in PORTS}
+            for kernel in KERNELS_UNDER_TEST
+        }
+
+    data = benchmark.pedantic(work, iterations=1, rounds=1)
+    rows = []
+    for kernel in KERNELS_UNDER_TEST:
+        base = data[kernel][1]
+        rows.append(
+            [kernel] + [round(base / data[kernel][p], 2) for p in PORTS]
+        )
+    print()
+    print(
+        render_table(
+            ("kernel",) + tuple(f"{p} ports" for p in PORTS),
+            rows,
+            title="Ablation: 8-way MMX128 speed-up vs L1 ports (1 port = 1.0)",
+        )
+    )
+    for kernel in KERNELS_UNDER_TEST:
+        assert data[kernel][4] <= data[kernel][1]
+    # The memory-heavy SAD kernel must gain more from ports than idct.
+    sad_gain = data["motion1"][1] / data["motion1"][4]
+    idct_gain = data["idct"][1] / data["idct"][4]
+    assert sad_gain >= idct_gain * 0.9

@@ -1,0 +1,54 @@
+"""Ablation: vector lane count of the matrix datapath.
+
+DESIGN.md calls out the lane organisation (Fig. 2 of the paper) as the
+mechanism that scales MOM without register-file complexity.  This sweep
+varies the lanes of the 2-way VMMX128 machine and regenerates the kernel
+speed-ups, showing where the lane count stops paying (the limit is the
+vector length the kernels can reach, §II-B).
+"""
+
+from repro.experiments.report import render_table
+from repro.kernels.base import execute
+from repro.kernels.registry import KERNELS
+from repro.timing.config import get_config, with_overrides
+from repro.timing.core import CoreModel
+
+KERNELS_UNDER_TEST = ("idct", "motion1", "ycc", "h2v2", "ltppar")
+LANES = (1, 2, 4, 8, 16)
+
+
+def _cycles(kernel, lanes):
+    run = execute(KERNELS[kernel], "vmmx128", seed=0)
+    config = with_overrides(get_config("vmmx128", 2), lanes=lanes)
+    model = CoreModel(config)
+    model.hier.warm(run.trace)
+    return model.run(run.trace).cycles
+
+
+def test_ablation_lane_count(benchmark):
+    def work():
+        return {
+            kernel: {lanes: _cycles(kernel, lanes) for lanes in LANES}
+            for kernel in KERNELS_UNDER_TEST
+        }
+
+    data = benchmark.pedantic(work, iterations=1, rounds=1)
+    rows = []
+    for kernel in KERNELS_UNDER_TEST:
+        base = data[kernel][1]
+        rows.append([kernel] + [round(base / data[kernel][l], 2) for l in LANES])
+    print()
+    print(
+        render_table(
+            ("kernel",) + tuple(f"{l} lanes" for l in LANES),
+            rows,
+            title="Ablation: VMMX128 speed-up vs lane count (1 lane = 1.0)",
+        )
+    )
+    for kernel in KERNELS_UNDER_TEST:
+        assert data[kernel][4] <= data[kernel][1], "4 lanes must not be slower"
+    # Diminishing returns: the 8->16 lane step gains less than 1->2.
+    for kernel in ("idct", "ltppar"):
+        gain_low = data[kernel][1] / data[kernel][2]
+        gain_high = data[kernel][8] / data[kernel][16]
+        assert gain_high <= gain_low + 0.05

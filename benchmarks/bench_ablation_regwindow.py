@@ -1,0 +1,54 @@
+"""Ablation: physical-register rename window.
+
+Table III gives the VMMX machines far fewer physical registers (20 at
+2-way against MMX's 40) because each register is 16 rows deep.  This
+sweep shows the sensitivity of both families to the rename window -- the
+complexity/performance trade-off the paper's §II-C argues about.
+"""
+
+from repro.experiments.report import render_table
+from repro.kernels.base import execute
+from repro.kernels.registry import KERNELS
+from repro.timing.config import get_config, with_overrides
+from repro.timing.core import CoreModel
+
+SWEEP = {
+    "mmx64": (34, 40, 48, 64, 96),
+    "vmmx128": (18, 20, 24, 36, 64),
+}
+
+
+def _cycles(kernel, isa, phys):
+    run = execute(KERNELS[kernel], isa, seed=0)
+    config = with_overrides(get_config(isa, 2), phys_simd_regs=phys)
+    model = CoreModel(config)
+    model.hier.warm(run.trace)
+    return model.run(run.trace).cycles
+
+
+def test_ablation_physical_registers(benchmark):
+    def work():
+        return {
+            isa: {phys: _cycles("idct", isa, phys) for phys in sweep}
+            for isa, sweep in SWEEP.items()
+        }
+
+    data = benchmark.pedantic(work, iterations=1, rounds=1)
+    rows = []
+    for isa, values in data.items():
+        base = max(values.values())
+        rows.append(
+            [isa] + [f"{phys}:{round(base / c, 2)}" for phys, c in values.items()]
+        )
+    print()
+    print(
+        render_table(
+            ("isa", "p1", "p2", "p3", "p4", "p5"),
+            rows,
+            title="Ablation: idct cycles vs physical SIMD registers "
+            "(speed-up over smallest window)",
+        )
+    )
+    for values in data.values():
+        ordered = [values[p] for p in sorted(values)]
+        assert ordered[0] >= ordered[-1], "more registers must not hurt"

@@ -1,0 +1,16 @@
+"""Benchmark + reproduction of Figure 4 (kernel speed-ups, 2-way core)."""
+
+from repro.experiments import fig4_data, fig4_render
+from repro.kernels.registry import FIG4_KERNELS
+
+
+def test_fig4_kernel_speedups(benchmark):
+    data = benchmark.pedantic(fig4_data, iterations=1, rounds=1)
+    print()
+    print(fig4_render())
+    # Headline shapes (paper §IV-A).
+    assert max(data[k]["vmmx128"] for k in FIG4_KERNELS) == data["idct"]["vmmx128"]
+    assert data["idct"]["vmmx128"] > 3.0
+    for kernel in FIG4_KERNELS:
+        assert data[kernel]["mmx128"] < 2.2
+    assert data["ltppar"]["vmmx128"] - data["ltppar"]["vmmx64"] < 0.25

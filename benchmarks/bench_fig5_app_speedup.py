@@ -1,0 +1,17 @@
+"""Benchmark + reproduction of Figure 5 (application speed-ups)."""
+
+from repro.experiments import fig5_data, fig5_render
+
+
+def test_fig5_app_speedups(benchmark):
+    data = benchmark.pedantic(fig5_data, iterations=1, rounds=1)
+    print()
+    print(fig5_render())
+    # Headline shapes (paper §IV-B).
+    apps = ("jpegenc", "jpegdec", "mpeg2enc", "mpeg2dec", "gsmenc", "gsmdec")
+    assert max(apps, key=lambda a: data[a][8]["vmmx128"]) == "mpeg2enc"
+    assert data["mpeg2enc"][8]["vmmx128"] > 3.0
+    assert data["jpegenc"][2]["vmmx64"] > data["jpegenc"][2]["mmx128"]
+    assert data["jpegenc"][8]["mmx128"] > data["jpegenc"][8]["vmmx64"]
+    for app in ("gsmenc", "gsmdec"):
+        assert data[app][8]["vmmx128"] / data[app][8]["mmx64"] < 1.25

@@ -1,0 +1,17 @@
+"""Benchmark + reproduction of Figure 6 (jpegdec cycle breakdown)."""
+
+from repro.experiments import fig6_data, fig6_render
+
+
+def test_fig6_cycle_breakdown(benchmark):
+    data = benchmark.pedantic(fig6_data, iterations=1, rounds=1)
+    print()
+    print(fig6_render())
+    # Headline shapes (paper §IV-C).
+    reduction = 1.0 - data[2]["vmmx128"]["vector"] / data[2]["mmx64"]["vector"]
+    assert reduction > 0.6
+    cell = data[8]["vmmx128"]
+    assert cell["vector"] / cell["total"] < 0.12
+    for way in (2, 4, 8):
+        scalars = [data[way][isa]["scalar"] for isa in data[way]]
+        assert max(scalars) - min(scalars) < 0.05 * max(scalars)

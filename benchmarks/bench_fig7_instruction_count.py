@@ -1,0 +1,17 @@
+"""Benchmark + reproduction of Figure 7 (dynamic instruction counts)."""
+
+from repro.experiments import fig7_data, fig7_render
+
+
+def test_fig7_instruction_counts(benchmark):
+    data = benchmark.pedantic(fig7_data, iterations=1, rounds=1)
+    print()
+    print(fig7_render())
+    # Headline shapes (paper §IV-D): ~30% fewer for VMMX, ~15% for MMX128.
+    apps = ("jpegenc", "jpegdec", "mpeg2enc", "mpeg2dec", "gsmenc", "gsmdec")
+    vmmx = sum(data[a]["vmmx128"]["total"] for a in apps) / len(apps)
+    mmx128 = sum(data[a]["mmx128"]["total"] for a in apps) / len(apps)
+    assert 55 <= vmmx <= 80
+    assert 78 <= mmx128 <= 92
+    reductions = {a: 100 - data[a]["vmmx128"]["total"] for a in apps}
+    assert max(reductions, key=reductions.get) == "mpeg2enc"

@@ -1,0 +1,46 @@
+"""Raw throughput of the emulation machines and the timing model.
+
+These keep the reproduction honest about its own cost: trace generation
+and trace timing are the two engines everything else drives.
+"""
+
+from repro.kernels.base import execute
+from repro.kernels.registry import KERNELS
+from repro.timing.config import get_config
+from repro.timing.core import CoreModel
+
+
+def test_emulation_throughput(benchmark):
+    """Dynamic instructions emulated per second (ycc, mmx64)."""
+    spec = KERNELS["ycc"]
+
+    def work():
+        return len(execute(spec, "mmx64", seed=0).trace)
+
+    instructions = benchmark(work)
+    assert instructions > 10_000
+
+
+def test_timing_model_throughput(benchmark):
+    """Trace records timed per second (ycc trace on the 2-way core)."""
+    trace = execute(KERNELS["ycc"], "mmx64", seed=0).trace
+
+    def work():
+        model = CoreModel(get_config("mmx64", 2))
+        model.hier.warm(trace)
+        return model.run(trace).cycles
+
+    cycles = benchmark(work)
+    assert cycles > 0
+
+
+def test_vector_timing_throughput(benchmark):
+    """Matrix traces exercise the lane/vector-cache paths."""
+    trace = execute(KERNELS["idct"], "vmmx128", seed=0).trace
+
+    def work():
+        model = CoreModel(get_config("vmmx128", 2))
+        model.hier.warm(trace)
+        return model.run(trace).cycles
+
+    benchmark(work)

@@ -1,0 +1,23 @@
+"""Benchmark + reproduction of Table I (register-file scaling)."""
+
+from repro.experiments import table1_render
+from repro.hw.regfile import PAPER_RATIOS, area_ratio, fit_pitch_constant
+
+
+def test_table1_regfile_model(benchmark):
+    """Regenerate Table I; benchmark measures the full model + fit."""
+
+    def work():
+        pitch = fit_pitch_constant(grid=100)
+        return pitch, table1_render()
+
+    pitch, rendered = benchmark(work)
+    print()
+    print(rendered)
+    print(f"(pitch constant fitted to paper ratios: {pitch:.2f})")
+    worst = max(
+        abs(area_ratio(*key) / target - 1.0)
+        for key, target in PAPER_RATIOS.items()
+    )
+    print(f"worst-case area-ratio error vs paper: {100 * worst:.1f}%")
+    assert worst < 0.15

@@ -1,0 +1,42 @@
+"""Benchmark + reproduction of Table II (benchmark set description).
+
+Also characterises every kernel's dynamic footprint (the data behind the
+table): instructions per invocation for each ISA version.
+"""
+
+from repro.experiments import table2_render
+from repro.experiments.report import render_table
+from repro.kernels.base import execute
+from repro.kernels.registry import KERNELS
+
+
+def test_table2_benchmark_set(benchmark):
+    rendered = benchmark(table2_render)
+    print()
+    print(rendered)
+
+
+def test_table2_kernel_footprints(benchmark):
+    """Dynamic instructions per invocation across all five versions."""
+
+    def work():
+        rows = []
+        for name, spec in KERNELS.items():
+            row = [name]
+            for version in ("scalar", "mmx64", "mmx128", "vmmx64", "vmmx128"):
+                run = execute(spec, version, seed=0)
+                row.append(round(len(run.trace) / spec.batch, 1))
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(work, iterations=1, rounds=1)
+    print()
+    print(
+        render_table(
+            ("kernel", "scalar", "mmx64", "mmx128", "vmmx64", "vmmx128"),
+            rows,
+            title="Dynamic instructions per kernel invocation",
+        )
+    )
+    for row in rows:
+        assert row[4] <= row[2], f"{row[0]}: vmmx64 must not exceed mmx64"

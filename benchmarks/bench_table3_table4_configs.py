@@ -1,0 +1,18 @@
+"""Benchmark + reproduction of Tables III and IV (machine configuration)."""
+
+from repro.experiments import table3_render, table4_render
+
+
+def test_table3_processors(benchmark):
+    rendered = benchmark(table3_render)
+    print()
+    print(rendered)
+    assert "vmmx128" in rendered
+
+
+def test_table4_memory_hierarchy(benchmark):
+    rendered = benchmark(table4_render)
+    print()
+    print(rendered)
+    assert "512" in rendered  # L2 size KB
+    assert "500" in rendered  # main memory latency

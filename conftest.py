@@ -1,0 +1,6 @@
+"""Ensure `repro` is importable even without an installed package."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

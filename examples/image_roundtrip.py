@@ -1,0 +1,53 @@
+"""Scenario: JPEG still-image round trip with per-stage kernel accounting.
+
+Encodes and decodes a synthetic photograph, then breaks the decode down
+the way the paper's Fig. 6 does: which cycles are scalar (Huffman,
+dequantise, the decoder's scalar iDCT) and which are the vectorised
+up-sampling and colour-conversion kernels, per extension.
+
+Run:  python examples/image_roundtrip.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.apps import app_timing
+from repro.apps.jpeg import decode_image, encode_image
+from repro.workloads import test_image
+
+
+def main() -> None:
+    image = test_image(128, 96, seed=5)
+    bits, enc_profile = encode_image(image, quality=75)
+    planes, dec_profile = decode_image(bits)
+
+    recon = np.stack([planes["r"], planes["g"], planes["b"]], axis=-1)
+    mse = ((recon.astype(float) - image.astype(float)) ** 2).mean()
+    psnr = 10 * np.log10(255.0**2 / mse)
+    print(f"{image.shape[1]}x{image.shape[0]} image -> {bits.size_bytes} bytes "
+          f"({image.size / bits.size_bytes:.1f}x), PSNR {psnr:.1f} dB\n")
+
+    for name, profile in (("jpegenc", enc_profile), ("jpegdec", dec_profile)):
+        print(f"{name} cycle breakdown (normalised to its 2-way MMX64 total):")
+        base = app_timing(profile, "mmx64", 2).total_cycles / 100.0
+        for isa in ("mmx64", "mmx128", "vmmx64", "vmmx128"):
+            t = app_timing(profile, isa, 2)
+            print(
+                f"  2-way {isa:>8s}: scalar {t.scalar_cycles / base:5.1f} "
+                f"+ vector {t.vector_cycles / base:5.1f} "
+                f"= {t.total_cycles / base:5.1f}"
+            )
+        print()
+    print(
+        "The white (scalar) share barely moves across extensions -- only a"
+        "\nwider core shrinks it; the shaded (vector) share collapses under"
+        "\nthe matrix ISA. That is the paper's Fig. 6."
+    )
+
+
+if __name__ == "__main__":
+    main()

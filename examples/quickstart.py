@@ -1,0 +1,50 @@
+"""Quickstart: run one kernel on all four SIMD extensions.
+
+This is the paper's Fig. 3 in executable form: the motion-estimation SAD
+kernel (dist1) emulated as MMX64, MMX128, VMMX64 and VMMX128 code, traced,
+and timed on the matching 2-way processor model.
+
+Run:  python examples/quickstart.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.kernels.base import execute
+from repro.kernels.registry import KERNELS
+from repro.timing.simulator import simulate_kernel
+
+
+def main() -> None:
+    spec = KERNELS["motion1"]
+    print(f"kernel: {spec.name} -- {spec.description} ({spec.data_size})\n")
+
+    print(f"{'version':>9s} {'instrs/block':>13s} {'cycles/block':>13s} "
+          f"{'speedup':>8s}   trace mix")
+    baseline = simulate_kernel("motion1", "mmx64", way=2)
+    base_cycles = baseline.result.cycles
+    for version in ("mmx64", "mmx128", "vmmx64", "vmmx128"):
+        run = execute(spec, version, seed=0)
+        timing = simulate_kernel("motion1", version, way=2)
+        mix = ", ".join(
+            f"{cat}={count}"
+            for cat, count in sorted(run.trace.category_counts().items())
+            if count
+        )
+        print(
+            f"{version:>9s} {len(run.trace) / spec.batch:13.1f} "
+            f"{timing.cycles_per_invocation:13.1f} "
+            f"{base_cycles / timing.result.cycles:8.2f}   {mix}"
+        )
+
+    print(
+        "\nThe matrix extension packs the whole 16x16 block into one or two"
+        "\nstrided vector loads plus a packed-accumulator SAD -- the"
+        "\ninstruction collapse of the paper's Fig. 3(e)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Scenario: GSM 06.10 speech round trip and the limits of SIMD.
+
+Encodes and decodes a speech-like waveform, reports quality, and shows
+why the paper finds GSM barely benefits from any SIMD extension: the
+vectorisable long-term-predictor work is a small slice of a codec
+dominated by serial lattice filters and bit plumbing.
+
+Run:  python examples/speech_pipeline.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.apps import app_timing
+from repro.apps.gsm import decode_speech, encode_speech
+from repro.workloads import speech_signal
+
+
+def main() -> None:
+    speech = speech_signal(640, seed=1)
+    bits, enc_profile = encode_speech(speech)
+    out, dec_profile = decode_speech(bits)
+
+    err = speech.astype(float) - out.astype(float)
+    snr = 10 * np.log10((speech.astype(float) ** 2).sum() / (err**2).sum())
+    corr = np.corrcoef(speech.astype(float), out.astype(float))[0, 1]
+    rate = bits.size_bytes * 8 / (len(speech) / 8000.0) / 1000.0
+    print(f"{len(speech)} samples -> {bits.size_bytes} bytes "
+          f"({rate:.1f} kbit/s), SNR {snr:.1f} dB, corr {corr:.3f}\n")
+
+    for name, profile in (("gsmenc", enc_profile), ("gsmdec", dec_profile)):
+        t = app_timing(profile, "mmx64", 2)
+        vec = t.vector_cycles / t.total_cycles
+        print(f"{name}: vectorisable share of cycles on 2-way MMX64: {vec:.1%}")
+        speedup = t.total_cycles / app_timing(profile, "vmmx128", 2).total_cycles
+        print(f"{name}: best-case VMMX128 speed-up at 2-way: {speedup:.2f}x")
+    print(
+        "\nAmdahl caps the win: the lattice filters and APCM/bit packing"
+        "\nstay scalar, exactly the paper's 'percentage of parallelization"
+        " is small' observation for the GSM pair."
+    )
+
+
+if __name__ == "__main__":
+    main()

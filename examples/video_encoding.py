@@ -1,0 +1,61 @@
+"""Scenario: encode a video clip and compare SIMD extensions end to end.
+
+Runs the full MPEG-2-like encoder on a synthetic clip, verifies that the
+decoder reconstructs the encoder's reference frames bit-exactly, then
+prices the whole run on every (extension, width) machine -- reproducing
+in miniature the paper's central claim that a simple 2-way core with the
+128-bit matrix extension competes with much wider 1-D SIMD machines.
+
+Run:  python examples/video_encoding.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.apps import app_timing
+from repro.apps.mpeg2 import decode_video, encode_video
+from repro.workloads import video_clip
+
+
+def main() -> None:
+    clip = video_clip(64, 48, frames=4, seed=7)
+    bits, recon, profile = encode_video(clip)
+    decoded, _ = decode_video(bits)
+
+    exact = all(np.array_equal(decoded[f], recon[f]) for f in range(len(recon)))
+    mse = ((decoded.astype(float) - clip.astype(float)) ** 2).mean()
+    psnr = 10 * np.log10(255.0**2 / mse)
+    ratio = clip.size / bits.size_bytes
+    print(f"clip: {clip.shape[0]} frames of {clip.shape[2]}x{clip.shape[1]}")
+    print(f"bitstream: {bits.size_bytes} bytes ({ratio:.1f}x), "
+          f"PSNR {psnr:.1f} dB, decoder bit-exact: {exact}\n")
+
+    print("encoder work profile:")
+    for kernel, items in sorted(profile.kernel_items.items()):
+        print(f"  kernel {kernel:8s} {items:8.0f} items")
+    print(f"  scalar instructions: {profile.scalar_instructions}\n")
+
+    print(f"{'machine':>16s} {'Mcycles':>9s} {'speedup':>8s}")
+    base = app_timing(profile, "mmx64", 2).total_cycles
+    for way in (2, 4, 8):
+        for isa in ("mmx64", "mmx128", "vmmx64", "vmmx128"):
+            t = app_timing(profile, isa, way)
+            print(
+                f"{way}-way {isa:>10s} {t.total_cycles / 1e6:9.2f} "
+                f"{base / t.total_cycles:8.2f}"
+            )
+    t2 = app_timing(profile, "vmmx128", 2).total_cycles
+    t8 = app_timing(profile, "mmx128", 8).total_cycles
+    print(
+        f"\n2-way VMMX128 runs within {t2 / t8:.2f}x of the 8-way MMX128 --"
+        "\nthe paper's 'more performance with simpler processor"
+        " configurations'."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro -- reproduction of "On the Scalability of 1- and 2-Dimensional
+SIMD Extensions for Multimedia Applications" (ISPASS 2005).
+
+The package models four multimedia ISA extensions (MMX64, MMX128 and the
+matrix-oriented VMMX64, VMMX128) on top of an out-of-order superscalar
+timing model, re-implements the paper's Mediabench kernels and
+applications against those extensions, and regenerates every table and
+figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import run_kernel, CONFIGS
+
+    result = run_kernel("motion1", isa="vmmx128", way=2)
+    print(result.cycles, result.trace.summary())
+
+See ``examples/quickstart.py`` and DESIGN.md for the full tour.
+"""
+
+from repro.emu import ISA_NAMES, VERSION_NAMES, Memory, make_machine
+from repro.isa import Category, FUClass, Trace, TraceRecord
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Category", "FUClass", "ISA_NAMES", "Memory", "Trace", "TraceRecord",
+    "VERSION_NAMES", "make_machine", "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro` light while still exposing the
+    # high-level API (kernel runner, processor configs, experiments).
+    if name == "run_kernel":
+        from repro.kernels.runner import run_kernel
+
+        return run_kernel
+    if name == "CONFIGS":
+        from repro.timing.config import CONFIGS
+
+        return CONFIGS
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

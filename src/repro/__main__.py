@@ -1,0 +1,89 @@
+"""Jinks-style command-line simulator driver.
+
+Run any kernel version on any modeled processor::
+
+    python -m repro kernel motion1 --isa vmmx128 --way 2
+    python -m repro kernel idct --isa mmx64 --way 8 --listing 20
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(_args) -> int:
+    from repro.kernels.registry import KERNELS
+    from repro.timing.config import CONFIGS
+
+    print("kernels:")
+    for name, spec in KERNELS.items():
+        print(f"  {name:10s} {spec.app:10s} {spec.description}")
+    print("\nconfigurations:")
+    for (isa, way) in sorted(CONFIGS, key=str):
+        print(f"  --isa {isa} --way {way}")
+    return 0
+
+
+def _cmd_kernel(args) -> int:
+    from repro.isa.disasm import listing, mnemonic_histogram
+    from repro.kernels.base import execute
+    from repro.kernels.registry import KERNELS
+    from repro.timing.simulator import simulate_kernel
+
+    if args.name not in KERNELS:
+        print(f"unknown kernel {args.name!r}; try: python -m repro list")
+        return 1
+    spec = KERNELS[args.name]
+    run = execute(spec, args.isa, seed=args.seed)
+    print(run.trace.summary())
+    print(f"functional check: {'ok' if run.correct else 'FAILED'}")
+    timing = simulate_kernel(args.name, args.isa, args.way, seed=args.seed)
+    result = timing.result
+    print(
+        f"{args.way}-way {args.isa}: {result.cycles} cycles for "
+        f"{result.instructions} instructions (IPC {result.ipc:.2f}), "
+        f"{timing.cycles_per_invocation:.1f} cycles/invocation"
+    )
+    print(
+        f"cycles by category: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(result.cat_cycles.items()))
+    )
+    print(
+        f"branches: {result.branch_mispredicts}/{result.branch_lookups} mispredicted; "
+        f"L1 misses {result.l1_misses}/{result.l1_accesses}, "
+        f"L2 misses {result.l2_misses}/{result.l2_accesses}"
+    )
+    print("\nhottest mnemonics:")
+    for name, count in mnemonic_histogram(run.trace, top=8):
+        print(f"  {name:12s} {count}")
+    if args.listing:
+        print("\nlisting:")
+        print(listing(run.trace, limit=args.listing))
+    return 0 if run.correct else 2
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list kernels and configurations")
+    kernel = sub.add_parser("kernel", help="emulate + time one kernel")
+    kernel.add_argument("name")
+    kernel.add_argument("--isa", default="vmmx128",
+                        choices=["scalar", "mmx64", "mmx128", "vmmx64", "vmmx128"])
+    kernel.add_argument("--way", type=int, default=2, choices=[2, 4, 8])
+    kernel.add_argument("--seed", type=int, default=0)
+    kernel.add_argument("--listing", type=int, default=0, metavar="N",
+                        help="print the first N trace records")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "kernel" and args.isa == "scalar":
+        print("timing configs exist for SIMD ISAs; use --isa mmx64/.../vmmx128")
+        return 1
+    return _cmd_kernel(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,10 @@
+"""The six Mediabench applications and their timing composition."""
+
+from repro.apps.appmodel import AppTiming, app_instruction_counts, app_timing
+from repro.apps.profile import AppProfile, tally_cost
+from repro.apps.runner import APP_NAMES, run_app_profile
+
+__all__ = [
+    "APP_NAMES", "AppProfile", "AppTiming", "app_instruction_counts",
+    "app_timing", "run_app_profile", "tally_cost",
+]

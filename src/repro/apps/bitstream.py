@@ -1,0 +1,184 @@
+"""Bit-level I/O and Huffman coding shared by the JPEG and MPEG-2 codecs."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+
+class BitWriter:
+    """MSB-first bit accumulator."""
+
+    def __init__(self) -> None:
+        self._bits: List[int] = []
+
+    def write(self, value: int, nbits: int) -> None:
+        if nbits < 0 or (nbits and value >> nbits):
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        for i in range(nbits - 1, -1, -1):
+            self._bits.append((value >> i) & 1)
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        bits = self._bits
+        for i in range(0, len(bits), 8):
+            chunk = bits[i : i + 8]
+            chunk += [0] * (8 - len(chunk))
+            byte = 0
+            for b in chunk:
+                byte = (byte << 1) | b
+            out.append(byte)
+        return bytes(out)
+
+
+class BitReader:
+    """MSB-first bit consumer over a bytes object."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def read(self, nbits: int) -> int:
+        value = 0
+        for _ in range(nbits):
+            byte = self.data[self.pos >> 3]
+            bit = (byte >> (7 - (self.pos & 7))) & 1
+            value = (value << 1) | bit
+            self.pos += 1
+        return value
+
+    def read_bit(self) -> int:
+        return self.read(1)
+
+    @property
+    def bits_left(self) -> int:
+        return 8 * len(self.data) - self.pos
+
+
+class HuffmanCode:
+    """A deterministic canonical Huffman code over hashable symbols."""
+
+    def __init__(self, frequencies: Dict[Hashable, float]) -> None:
+        self.lengths = _huffman_lengths(frequencies)
+        self.encode_table: Dict[Hashable, Tuple[int, int]] = {}
+        self.decode_table: Dict[Tuple[int, int], Hashable] = {}
+        code = 0
+        last_len = 0
+        ordered = sorted(self.lengths.items(), key=lambda kv: (kv[1], repr(kv[0])))
+        for symbol, length in ordered:
+            code <<= length - last_len
+            last_len = length
+            self.encode_table[symbol] = (code, length)
+            self.decode_table[(length, code)] = symbol
+            code += 1
+        self.max_length = last_len
+
+    def write(self, writer: BitWriter, symbol: Hashable) -> int:
+        """Emit one symbol; returns the number of bits written."""
+        code, length = self.encode_table[symbol]
+        writer.write(code, length)
+        return length
+
+    def read(self, reader: BitReader) -> Hashable:
+        """Decode one symbol bit-by-bit (canonical prefix walk)."""
+        code = 0
+        for length in range(1, self.max_length + 1):
+            code = (code << 1) | reader.read_bit()
+            symbol = self.decode_table.get((length, code))
+            if symbol is not None:
+                return symbol
+        raise ValueError("invalid Huffman code in bitstream")
+
+
+def _huffman_lengths(frequencies: Dict[Hashable, float]) -> Dict[Hashable, int]:
+    """Code lengths via the standard heap construction, deterministic."""
+    if len(frequencies) == 1:
+        return {next(iter(frequencies)): 1}
+    heap = [
+        (freq, repr(symbol), [symbol])
+        for symbol, freq in frequencies.items()
+    ]
+    heapq.heapify(heap)
+    lengths = {symbol: 0 for symbol in frequencies}
+    while len(heap) > 1:
+        f1, r1, s1 = heapq.heappop(heap)
+        f2, r2, s2 = heapq.heappop(heap)
+        for symbol in s1 + s2:
+            lengths[symbol] += 1
+        heapq.heappush(heap, (f1 + f2, min(r1, r2), s1 + s2))
+    return lengths
+
+
+def magnitude_category(value: int) -> int:
+    """JPEG-style size category: bits needed for |value|."""
+    return int(value).bit_length() if value >= 0 else int(-value).bit_length()
+
+
+def encode_magnitude(writer: BitWriter, value: int) -> int:
+    """JPEG-style amplitude bits (one's-complement for negatives)."""
+    size = magnitude_category(value)
+    if size:
+        bits = value if value > 0 else value + (1 << size) - 1
+        writer.write(bits, size)
+    return size
+
+
+def decode_magnitude(reader: BitReader, size: int) -> int:
+    """Inverse of :func:`encode_magnitude`."""
+    if size == 0:
+        return 0
+    bits = reader.read(size)
+    if bits >> (size - 1):
+        return bits
+    return bits - (1 << size) + 1
+
+
+def encode_ue(writer: BitWriter, value: int) -> None:
+    """Unsigned exp-Golomb code (as used for our motion vectors)."""
+    if value < 0:
+        raise ValueError("ue value must be non-negative")
+    code = value + 1
+    nbits = code.bit_length()
+    writer.write(0, nbits - 1)
+    writer.write(code, nbits)
+
+
+def decode_ue(reader: BitReader) -> int:
+    zeros = 0
+    while reader.read_bit() == 0:
+        zeros += 1
+    code = 1
+    for _ in range(zeros):
+        code = (code << 1) | reader.read_bit()
+    return code - 1
+
+
+def encode_se(writer: BitWriter, value: int) -> None:
+    """Signed exp-Golomb code."""
+    mapped = 2 * value - 1 if value > 0 else -2 * value
+    encode_ue(writer, mapped)
+
+
+def decode_se(reader: BitReader) -> int:
+    mapped = decode_ue(reader)
+    if mapped % 2:
+        return (mapped + 1) // 2
+    return -(mapped // 2)
+
+
+def iter_zigzag() -> Iterable[Tuple[int, int]]:
+    """The 8x8 zig-zag scan order as (row, col) pairs."""
+    order = []
+    for s in range(15):
+        coords = [(s - c, c) for c in range(max(0, s - 7), min(s, 7) + 1)]
+        if s % 2 == 1:
+            coords.reverse()
+        order.extend(coords)
+    return order
+
+
+#: Flattened zig-zag indices into a row-major 8x8 block.
+ZIGZAG = [r * 8 + c for r, c in iter_zigzag()]

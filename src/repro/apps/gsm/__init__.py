@@ -1,0 +1,5 @@
+"""Simplified GSM 06.10 RPE-LTP speech codec (Mediabench substitute)."""
+
+from repro.apps.gsm.codec import GsmBitstream, decode_speech, encode_speech
+
+__all__ = ["GsmBitstream", "decode_speech", "encode_speech"]

@@ -1,0 +1,305 @@
+"""An RPE-LTP speech codec with the GSM 06.10 structure and profiling.
+
+Per 160-sample frame: pre-emphasis, LPC analysis (autocorrelation +
+Levinson-Durbin), reflection-coefficient quantisation, short-term lattice
+analysis filtering, then per 40-sample subframe: long-term predictor lag
+search (kernel ``ltppar``), LTP gain quantisation, regular-pulse
+excitation (grid decimation + APCM), and a closed-loop reconstruction of
+the residual history.  The decoder mirrors it, with the long-term
+synthesis filtering running through kernel ``ltpfilt``.
+
+Only the two kernels of Table II are vectorised, matching the paper's
+observation that less than 10% of the GSM applications parallelises; the
+lattice filters, LPC analysis and RPE/APCM stay scalar.
+
+The LTP/RPE reconstruction chain is integer (int16 with GSM ``mult_r``
+rounding) so encoder and decoder residual histories match bit-exactly
+(tested); the lattice filters are double-precision on both sides, so the
+decoded waveform is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.bitstream import BitReader, BitWriter
+from repro.apps.profile import AppProfile, tally_cost
+from repro.kernels.common import mult_r
+from repro.kernels.gsmk import HIST, LAG_MIN, QLB, golden_ltppar_one
+
+FRAME = 160
+SUB = 40
+ORDER = 8
+PRE = 0.86
+
+#: LTP gain decision thresholds (encoder side).
+DLB = (0.2, 0.5, 0.8)
+
+#: GSM 06.10 RPE weighting filter H(z) (scaled by 2^13).
+RPE_WEIGHTS = np.array(
+    [-134, -374, 0, 2054, 5741, 8192, 5741, 2054, 0, -374, -134], dtype=np.int64
+)
+
+
+@dataclass
+class GsmBitstream:
+    frames: int
+    data: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.data) + 8
+
+
+# --------------------------------------------------------------------------
+# LPC + lattice filters
+# --------------------------------------------------------------------------
+
+def _levinson(acf: np.ndarray) -> np.ndarray:
+    """Reflection coefficients from autocorrelation (Levinson-Durbin)."""
+    if acf[0] <= 0:
+        return np.zeros(ORDER)
+    a = np.zeros(ORDER + 1)
+    ks = np.zeros(ORDER)
+    err = float(acf[0])
+    for m in range(1, ORDER + 1):
+        acc = float(acf[m])
+        for i in range(1, m):
+            acc += a[i] * acf[m - i]
+        k = -acc / err if err > 1e-9 else 0.0
+        k = float(np.clip(k, -0.97, 0.97))
+        ks[m - 1] = k
+        prev = a.copy()
+        for i in range(1, m):
+            a[i] = prev[i] + k * prev[m - i]
+        a[m] = k
+        err *= 1.0 - k * k
+    return ks
+
+
+def _quantise_refl(ks: np.ndarray) -> List[int]:
+    """6-bit uniform quantisation of each reflection coefficient."""
+    return [int(np.clip(round((k + 1.0) * 31.5), 0, 63)) for k in ks]
+
+
+def _dequantise_refl(codes: List[int]) -> np.ndarray:
+    return np.array([c / 31.5 - 1.0 for c in codes])
+
+
+class LatticeState:
+    """Backward-error state shared by analysis and synthesis filters."""
+
+    def __init__(self) -> None:
+        self.b = np.zeros(ORDER)
+
+    def analyse(self, ks: np.ndarray, samples: np.ndarray) -> np.ndarray:
+        out = np.empty_like(samples)
+        b = self.b
+        for n, x in enumerate(samples):
+            f = x
+            new_b = np.empty(ORDER)
+            b_prev_stage = x
+            for m in range(ORDER):
+                f_next = f + ks[m] * b[m]
+                b_next = b[m] + ks[m] * f
+                new_b[m] = b_prev_stage
+                b_prev_stage = b_next
+                f = f_next
+            b = new_b
+            out[n] = f
+        self.b = b
+        return out
+
+    def synthesise(self, ks: np.ndarray, residual: np.ndarray) -> np.ndarray:
+        out = np.empty_like(residual)
+        b = self.b
+        for n, e in enumerate(residual):
+            f = e
+            new_b = np.empty(ORDER)
+            for m in range(ORDER - 1, -1, -1):
+                f = f - ks[m] * b[m]
+                if m + 1 < ORDER:
+                    new_b[m + 1] = b[m] + ks[m] * f
+            new_b[0] = f
+            b = new_b
+            out[n] = f
+        self.b = b
+        return out
+
+
+# --------------------------------------------------------------------------
+# RPE / APCM
+# --------------------------------------------------------------------------
+
+def _apcm_encode(seq: np.ndarray) -> Tuple[int, List[int]]:
+    xmax = int(np.abs(seq).max())
+    xmax_code = int(np.clip(round(4 * np.log2(max(xmax, 1))), 0, 63))
+    xmax_q = max(1, int(round(2.0 ** (xmax_code / 4.0))))
+    codes = [
+        int(np.clip(round(float(x) / xmax_q * 3.5 + 3.5), 0, 7)) for x in seq
+    ]
+    return xmax_code, codes
+
+
+def _apcm_decode(xmax_code: int, codes: List[int]) -> np.ndarray:
+    xmax_q = max(1, int(round(2.0 ** (xmax_code / 4.0))))
+    return np.array(
+        [int(round((c - 3.5) / 3.5 * xmax_q)) for c in codes], dtype=np.int16
+    )
+
+
+def _reconstruct_excitation(grid: int, pulses: np.ndarray) -> np.ndarray:
+    erp = np.zeros(SUB, dtype=np.int16)
+    erp[grid::3][:13] = pulses
+    return erp
+
+
+def _ltp_gain_index(cc: int, energy: int) -> int:
+    if energy <= 0:
+        return 0
+    ratio = cc / energy
+    return int(sum(ratio > th for th in DLB))
+
+
+# --------------------------------------------------------------------------
+# encoder / decoder
+# --------------------------------------------------------------------------
+
+def encode_speech(
+    samples: np.ndarray, profile: Optional[AppProfile] = None
+) -> Tuple[GsmBitstream, AppProfile]:
+    """Encode int16 speech (length a multiple of 160)."""
+    profile = profile or AppProfile("gsmenc")
+    if len(samples) % FRAME:
+        raise ValueError("sample count must be a multiple of 160")
+    nframes = len(samples) // FRAME
+    writer = BitWriter()
+    lattice = LatticeState()
+    dp = np.zeros(HIST, dtype=np.int16)
+    prev = 0.0
+    for f in range(nframes):
+        frame = samples[f * FRAME : (f + 1) * FRAME].astype(np.float64)
+        # Offset compensation + pre-emphasis (scalar filters, GSM 06.10
+        # section 4.2.1/4.2.2; offset compensation is functionally a
+        # no-op on our zero-mean synthetic input but costs its taps).
+        tally_cost(profile, "filter_tap", 2 * FRAME)
+        pre = np.empty(FRAME)
+        for n, x in enumerate(frame):
+            pre[n] = x - PRE * prev
+            prev = x
+        tally_cost(profile, "filter_tap", FRAME)
+        # LPC analysis.
+        acf = np.array([float(np.dot(pre[: FRAME - l], pre[l:])) for l in range(ORDER + 1)])
+        tally_cost(profile, "filter_tap", FRAME * (ORDER + 1))
+        ks = _levinson(acf)
+        tally_cost(profile, "filter_tap", ORDER * ORDER)
+        codes = _quantise_refl(ks)
+        tally_cost(profile, "quantize_coef", ORDER)
+        ksq = _dequantise_refl(codes)
+        for c in codes:
+            writer.write(c, 6)
+        # Short-term analysis filtering (scalar lattice).
+        residual = lattice.analyse(ksq, pre)
+        tally_cost(profile, "filter_tap", 2 * FRAME * ORDER)
+        d_int = np.clip(np.round(residual), -16384, 16383).astype(np.int16)
+        # Subframe LTP + RPE.
+        for s in range(4):
+            d_sub = d_int[s * SUB : (s + 1) * SUB]
+            lag, cc = golden_ltppar_one(d_sub, dp)
+            profile.call_kernel("ltppar", 1)
+            start = HIST - lag
+            window = dp[start : start + SUB]
+            energy = int((window.astype(np.int64) ** 2).sum())
+            tally_cost(profile, "filter_tap", SUB)
+            gain_idx = _ltp_gain_index(cc, energy)
+            bcr = QLB[gain_idx]
+            pred = mult_r(window, bcr)
+            e = np.clip(
+                d_sub.astype(np.int32) - pred.astype(np.int32), -32768, 32767
+            ).astype(np.int16)
+            tally_cost(profile, "filter_tap", SUB)
+            # RPE weighting filter, then grid selection by energy.
+            padded = np.zeros(SUB + 10, dtype=np.int64)
+            padded[5:-5] = e
+            weighted = np.array(
+                [
+                    (padded[k : k + 11] * RPE_WEIGHTS).sum() >> 13
+                    for k in range(SUB)
+                ],
+                dtype=np.int64,
+            )
+            weighted = np.clip(weighted, -16384, 16383).astype(np.int16)
+            tally_cost(profile, "filter_tap", 11 * SUB)
+            grids = [weighted[g::3][:13] for g in range(4)]
+            energies = [int((g.astype(np.int64) ** 2).sum()) for g in grids]
+            tally_cost(profile, "filter_tap", 52)
+            grid = int(np.argmax(energies))
+            xmax_code, pulse_codes = _apcm_encode(grids[grid])
+            tally_cost(profile, "quantize_coef", 14)
+            writer.write(lag - LAG_MIN, 7)
+            writer.write(gain_idx, 2)
+            writer.write(grid, 2)
+            writer.write(xmax_code, 6)
+            for c in pulse_codes:
+                writer.write(c, 3)
+            # Closed-loop reconstruction (scalar on the encoder side).
+            pulses = _apcm_decode(xmax_code, pulse_codes)
+            erp = _reconstruct_excitation(grid, pulses)
+            dp_new = np.clip(
+                erp.astype(np.int32) + pred.astype(np.int32), -32768, 32767
+            ).astype(np.int16)
+            tally_cost(profile, "filter_tap", SUB)
+            dp = np.concatenate([dp[SUB:], dp_new])
+    data = writer.to_bytes()
+    tally_cost(profile, "bitstream_byte", len(data))
+    return GsmBitstream(frames=nframes, data=data), profile
+
+
+def decode_speech(
+    bits: GsmBitstream, profile: Optional[AppProfile] = None
+) -> Tuple[np.ndarray, AppProfile]:
+    """Decode to int16 samples."""
+    profile = profile or AppProfile("gsmdec")
+    reader = BitReader(bits.data)
+    tally_cost(profile, "bitstream_byte", len(bits.data))
+    lattice = LatticeState()
+    dp = np.zeros(HIST, dtype=np.int16)
+    out = np.empty(bits.frames * FRAME, dtype=np.int16)
+    prev_out = 0.0
+    for f in range(bits.frames):
+        codes = [reader.read(6) for _ in range(ORDER)]
+        ksq = _dequantise_refl(codes)
+        tally_cost(profile, "dequantize_coef", ORDER)
+        residual = np.empty(FRAME, dtype=np.float64)
+        for s in range(4):
+            lag = reader.read(7) + LAG_MIN
+            gain_idx = reader.read(2)
+            grid = reader.read(2)
+            xmax_code = reader.read(6)
+            pulse_codes = [reader.read(3) for _ in range(13)]
+            pulses = _apcm_decode(xmax_code, pulse_codes)
+            tally_cost(profile, "dequantize_coef", 14)
+            erp = _reconstruct_excitation(grid, pulses)
+            # Long-term synthesis filtering: kernel ltpfilt (40 of its
+            # 120-sample batch item).
+            start = HIST - lag
+            window = dp[start : start + SUB]
+            bcr = QLB[gain_idx]
+            pred = mult_r(window, bcr)
+            dp_new = np.clip(
+                erp.astype(np.int32) + pred.astype(np.int32), -32768, 32767
+            ).astype(np.int16)
+            profile.call_kernel("ltpfilt", SUB / HIST)
+            dp = np.concatenate([dp[SUB:], dp_new])
+            residual[s * SUB : (s + 1) * SUB] = dp_new.astype(np.float64)
+        # Short-term synthesis (scalar lattice) + de-emphasis.
+        synth = lattice.synthesise(ksq, residual)
+        tally_cost(profile, "filter_tap", 2 * FRAME * ORDER)
+        for n in range(FRAME):
+            prev_out = synth[n] + PRE * prev_out
+            out[f * FRAME + n] = int(np.clip(round(prev_out), -32768, 32767))
+        tally_cost(profile, "filter_tap", FRAME)
+    return out, profile

@@ -1,0 +1,5 @@
+"""Simplified JPEG encoder/decoder (Mediabench cjpeg/djpeg substitute)."""
+
+from repro.apps.jpeg.codec import JpegBitstream, decode_image, encode_image
+
+__all__ = ["JpegBitstream", "decode_image", "encode_image"]

@@ -1,0 +1,5 @@
+"""Simplified MPEG-2 video encoder/decoder (Mediabench substitute)."""
+
+from repro.apps.mpeg2.codec import Mpeg2Bitstream, decode_video, encode_video
+
+__all__ = ["Mpeg2Bitstream", "decode_video", "encode_video"]

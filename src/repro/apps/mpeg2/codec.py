@@ -1,0 +1,345 @@
+"""A motion-compensated I/P video codec with execution profiling.
+
+Structure mirrors Mediabench's mpeg2enc/mpeg2dec on luma:
+
+encoder: three-step full-pel motion search (kernel ``motion1``, the
+paper's ``dist1``), horizontal half-pel refinement (kernel ``motion2``,
+``dist2``), 8x8 forward DCT of the residual (kernel ``fdct``), uniform
+quantisation, run/size Huffman VLC plus exp-Golomb motion vectors, and a
+closed reconstruction loop (dequantise + kernel ``idct`` + scalar add,
+matching Table II's kernel assignment for mpeg2enc).
+
+decoder: VLD, dequantise, inverse DCT (kernel ``idct``), motion
+compensation -- full-pel prediction is a scalar copy while half-pel
+prediction uses the rounded-average kernel ``comp`` -- and residual
+addition with saturation (kernel ``addblock``).
+
+The decoder reconstructs *bit-exactly* the encoder's reference frames
+(tested), because both sides share the fixed-point kernel semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.bitstream import (
+    BitReader,
+    BitWriter,
+    HuffmanCode,
+    ZIGZAG,
+    decode_magnitude,
+    decode_se,
+    encode_magnitude,
+    encode_se,
+    magnitude_category,
+)
+from repro.apps.profile import AppProfile, tally_cost
+from repro.isa import subword as sw
+from repro.kernels.common import fdct_golden, idct_golden
+
+MB = 16
+QUANT = 16  # flat quantiser step
+INTRA_BIAS = 1 << 14  # SAD threshold scaling for mode decision
+
+EOB = ("eob",)
+
+
+def _rl_code() -> HuffmanCode:
+    freqs = {EOB: 0.35}
+    for run in range(16):
+        for size in range(1, 11):
+            freqs[(run, size)] = float(np.exp(-0.4 * run - 0.8 * size))
+    return HuffmanCode(freqs)
+
+
+RL_CODE = _rl_code()
+
+
+@dataclass
+class Mpeg2Bitstream:
+    width: int
+    height: int
+    frames: int
+    data: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.data) + 16
+
+
+# --------------------------------------------------------------------------
+# shared block coding
+# --------------------------------------------------------------------------
+
+def _encode_block(block: np.ndarray, writer: BitWriter, profile: AppProfile) -> None:
+    scanned = block.reshape(-1)[ZIGZAG]
+    symbols = 0
+    run = 0
+    for value in scanned:
+        value = int(value)
+        if value == 0:
+            run += 1
+            continue
+        while run > 15:
+            run -= 16
+            RL_CODE.write(writer, (15, 10))
+            encode_magnitude(writer, 1023)  # escape-coded long run marker
+            symbols += 1
+        size = min(magnitude_category(value), 10)
+        RL_CODE.write(writer, (run, size))
+        encode_magnitude(writer, value)
+        symbols += 1
+        run = 0
+    RL_CODE.write(writer, EOB)
+    symbols += 1
+    tally_cost(profile, "vlc_encode_symbol", symbols)
+
+
+def _decode_block(reader: BitReader, profile: AppProfile) -> np.ndarray:
+    scanned = np.zeros(64, dtype=np.int32)
+    index = 0
+    symbols = 0
+    while True:
+        symbol = RL_CODE.read(reader)
+        symbols += 1
+        if symbol == EOB:
+            break
+        run, size = symbol
+        value = decode_magnitude(reader, size)
+        if (run, size) == (15, 10) and value == 1023:
+            index += 16
+            continue
+        index += run
+        scanned[index] = value
+        index += 1
+    tally_cost(profile, "vlc_decode_symbol", symbols)
+    block = np.zeros(64, dtype=np.int32)
+    block[ZIGZAG] = scanned
+    return block.reshape(8, 8)
+
+
+def _quantise(coeffs: np.ndarray) -> np.ndarray:
+    sign = np.sign(coeffs)
+    return (sign * ((np.abs(coeffs) + QUANT // 2) // QUANT)).astype(np.int32)
+
+
+def _reconstruct_block(quantised: np.ndarray, profile: AppProfile) -> np.ndarray:
+    """Dequantise + inverse DCT (kernel ``idct``); returns s16 residual."""
+    coeffs = (quantised * QUANT).astype(np.int16)
+    tally_cost(profile, "dequantize_coef", 64)
+    pixels = idct_golden(coeffs)
+    profile.call_kernel("idct", 1)
+    return pixels
+
+
+def _sad(a: np.ndarray, b: np.ndarray) -> int:
+    return int(np.abs(a.astype(np.int64) - b.astype(np.int64)).sum())
+
+
+def _sqd(a: np.ndarray, b: np.ndarray) -> int:
+    d = a.astype(np.int64) - b.astype(np.int64)
+    return int((d * d).sum())
+
+
+def _half_pel_pred(ref: np.ndarray, y: int, x: int) -> np.ndarray:
+    """Horizontal half-pel prediction: rounded average (comp semantics)."""
+    a = ref[y : y + MB, x : x + MB]
+    b = ref[y : y + MB, x + 1 : x + MB + 1]
+    return sw.avg_round_u8(a, b)
+
+
+# --------------------------------------------------------------------------
+# encoder
+# --------------------------------------------------------------------------
+
+SEARCH_RANGE = 6  # full-search window, as in Mediabench's mpeg2enc
+
+
+def _motion_search(
+    cur: np.ndarray, ref: np.ndarray, y: int, x: int, profile: AppProfile
+) -> Tuple[int, int, int]:
+    """Windowed full search (Mediabench default); returns (dy, dx, sad).
+
+    Every probe is one ``motion1`` (dist1) kernel item -- motion
+    estimation dominates the encoder exactly as the paper reports
+    (motion + idct account for >25% of mpeg2enc time, §IV-B).
+    """
+    height, width = ref.shape
+    block = cur[y : y + MB, x : x + MB]
+    best_dy = best_dx = 0
+    best = _sad(block, ref[y : y + MB, x : x + MB])
+    probes = 1
+    for dy in range(-SEARCH_RANGE, SEARCH_RANGE + 1):
+        ny = y + dy
+        if not 0 <= ny <= height - MB:
+            continue
+        for dx in range(-SEARCH_RANGE, SEARCH_RANGE + 1):
+            nx = x + dx
+            if (dy == 0 and dx == 0) or not 0 <= nx <= width - MB:
+                continue
+            cand = _sad(block, ref[ny : ny + MB, nx : nx + MB])
+            probes += 1
+            if cand < best or (cand == best and (dy, dx) < (best_dy, best_dx)):
+                best = cand
+                best_dy, best_dx = dy, dx
+        tally_cost(profile, "loop_iter", 2 * SEARCH_RANGE + 1)
+    profile.call_kernel("motion1", probes)
+    return best_dy, best_dx, best
+
+
+def encode_video(
+    frames: np.ndarray, profile: Optional[AppProfile] = None
+) -> Tuple[Mpeg2Bitstream, List[np.ndarray], AppProfile]:
+    """Encode a (F, H, W) u8 luma clip; returns (bits, recon frames, profile)."""
+    profile = profile or AppProfile("mpeg2enc")
+    nframes, height, width = frames.shape
+    if height % MB or width % MB:
+        raise ValueError("frame dimensions must be multiples of 16")
+    writer = BitWriter()
+    recon_frames: List[np.ndarray] = []
+    ref: Optional[np.ndarray] = None
+    for f in range(nframes):
+        cur = frames[f]
+        recon = np.zeros_like(cur)
+        intra_frame = ref is None
+        for y in range(0, height, MB):
+            for x in range(0, width, MB):
+                tally_cost(profile, "block_overhead", 1)
+                if intra_frame:
+                    _encode_intra_mb(cur, recon, y, x, writer, profile)
+                    continue
+                dy, dx, sad = _motion_search(cur, ref, y, x, profile)
+                half, pred = _half_pel_refine(cur, ref, y, x, dy, dx, profile)
+                if sad > INTRA_BIAS:
+                    writer.write(0, 1)  # intra MB
+                    _encode_intra_mb(cur, recon, y, x, writer, profile)
+                    continue
+                writer.write(1, 1)  # inter MB
+                encode_se(writer, dy)
+                encode_se(writer, dx)
+                writer.write(1 if half else 0, 1)
+                _encode_inter_mb(cur, recon, pred, y, x, writer, profile)
+        recon_frames.append(recon)
+        ref = recon
+    data = writer.to_bytes()
+    tally_cost(profile, "bitstream_byte", len(data))
+    bits = Mpeg2Bitstream(width=width, height=height, frames=nframes, data=data)
+    return bits, recon_frames, profile
+
+
+def _half_pel_refine(cur, ref, y, x, dy, dx, profile) -> Tuple[bool, np.ndarray]:
+    """Try the horizontal half-pel candidate with dist2 (kernel motion2)."""
+    block = cur[y : y + MB, x : x + MB]
+    full = ref[y + dy : y + dy + MB, x + dx : x + dx + MB]
+    full_err = _sqd(block, full)
+    profile.call_kernel("motion2", 1)
+    if x + dx + MB + 1 <= ref.shape[1]:
+        half = _half_pel_pred(ref, y + dy, x + dx)
+        tally_cost(profile, "pixel_average4", MB * MB / 2)
+        half_err = _sqd(block, half)
+        profile.call_kernel("motion2", 1)
+        if half_err < full_err:
+            return True, half
+    return False, full
+
+
+def _encode_intra_mb(cur, recon, y, x, writer, profile) -> None:
+    for by in range(y, y + MB, 8):
+        for bx in range(x, x + MB, 8):
+            block = cur[by : by + 8, bx : bx + 8].astype(np.int16) - 128
+            profile.tally(sarith=64, smem=64)
+            quantised = _quantise(fdct_golden(block).astype(np.int32))
+            profile.call_kernel("fdct", 1)
+            tally_cost(profile, "quantize_coef", 64)
+            _encode_block(quantised, writer, profile)
+            pixels = _reconstruct_block(quantised, profile).astype(np.int32) + 128
+            profile.tally(sarith=128, smem=64)  # scalar add + clip (encoder side)
+            recon[by : by + 8, bx : bx + 8] = np.clip(pixels, 0, 255).astype(np.uint8)
+
+
+def _encode_inter_mb(cur, recon, pred, y, x, writer, profile) -> None:
+    residual = (
+        cur[y : y + MB, x : x + MB].astype(np.int16) - pred.astype(np.int16)
+    )
+    profile.tally(sarith=MB * MB, smem=2 * MB * MB)
+    for by in range(0, MB, 8):
+        for bx in range(0, MB, 8):
+            block = residual[by : by + 8, bx : bx + 8]
+            quantised = _quantise(fdct_golden(block).astype(np.int32))
+            profile.call_kernel("fdct", 1)
+            tally_cost(profile, "quantize_coef", 64)
+            _encode_block(quantised, writer, profile)
+            rec_res = _reconstruct_block(quantised, profile)
+            total = pred[by : by + 8, bx : bx + 8].astype(np.int32) + rec_res
+            profile.tally(sarith=128, smem=64)  # scalar add + clip (encoder side)
+            recon[y + by : y + by + 8, x + bx : x + bx + 8] = np.clip(
+                total, 0, 255
+            ).astype(np.uint8)
+
+
+# --------------------------------------------------------------------------
+# decoder
+# --------------------------------------------------------------------------
+
+def decode_video(
+    bits: Mpeg2Bitstream, profile: Optional[AppProfile] = None
+) -> Tuple[np.ndarray, AppProfile]:
+    """Decode to a (F, H, W) u8 clip, bit-exact with encoder recon."""
+    profile = profile or AppProfile("mpeg2dec")
+    reader = BitReader(bits.data)
+    tally_cost(profile, "bitstream_byte", len(bits.data))
+    height, width = bits.height, bits.width
+    out = np.zeros((bits.frames, height, width), dtype=np.uint8)
+    ref: Optional[np.ndarray] = None
+    for f in range(bits.frames):
+        recon = np.zeros((height, width), dtype=np.uint8)
+        intra_frame = ref is None
+        for y in range(0, height, MB):
+            for x in range(0, width, MB):
+                tally_cost(profile, "block_overhead", 1)
+                if not intra_frame:
+                    is_inter = reader.read_bit()
+                    if not is_inter:
+                        _decode_intra_mb(recon, y, x, reader, profile)
+                        continue
+                    dy = decode_se(reader)
+                    dx = decode_se(reader)
+                    half = reader.read_bit()
+                    if half:
+                        pred = _half_pel_pred(ref, y + dy, x + dx)
+                        profile.call_kernel("comp", MB * MB / 32)
+                    else:
+                        pred = ref[y + dy : y + dy + MB, x + dx : x + dx + MB]
+                        tally_cost(profile, "pixel_copy", MB * MB)
+                    _decode_inter_mb(recon, pred, y, x, reader, profile)
+                else:
+                    _decode_intra_mb(recon, y, x, reader, profile)
+        out[f] = recon
+        ref = recon
+    return out, profile
+
+
+def _decode_intra_mb(recon, y, x, reader, profile) -> None:
+    for by in range(y, y + MB, 8):
+        for bx in range(x, x + MB, 8):
+            quantised = _decode_block(reader, profile)
+            pixels = _reconstruct_block(quantised, profile).astype(np.int32) + 128
+            profile.tally(sarith=128, smem=64)
+            recon[by : by + 8, bx : bx + 8] = np.clip(pixels, 0, 255).astype(np.uint8)
+
+
+def _decode_inter_mb(recon, pred, y, x, reader, profile) -> None:
+    for by in range(0, MB, 8):
+        for bx in range(0, MB, 8):
+            quantised = _decode_block(reader, profile)
+            rec_res = _reconstruct_block(quantised, profile)
+            block_pred = pred[by : by + 8, bx : bx + 8]
+            # addblock kernel: saturating residual add (one 8x8 item).
+            total = sw.saturate(
+                block_pred.astype(np.int64) + rec_res.astype(np.int64), "u8"
+            )
+            profile.call_kernel("addblock", 1)
+            recon[y + by : y + by + 8, x + bx : x + bx + 8] = total

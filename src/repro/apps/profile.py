@@ -1,0 +1,93 @@
+"""Application execution profiles: scalar tallies + kernel invocations.
+
+The applications execute functionally (numpy) while recording
+
+* scalar-region work as per-category dynamic instruction tallies
+  (scalar memory / scalar arithmetic / control), using per-operation cost
+  constants calibrated to the kernels' own scalar versions, and
+* kernel-region work as *batch-item* counts per kernel (one 8x8 block for
+  the DCTs, one 16x16 SAD, 64 pixels of colour conversion, ...).
+
+The timing composition in :mod:`repro.apps.appmodel` then prices the
+kernel items with simulated kernel cycles per ISA/width and the scalar
+region with a simulated scalar IPC per width -- the Amdahl structure the
+paper analyses in §IV-B/C (the scalar portion is identical across the
+four extensions of a given machine width).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class AppProfile:
+    """Dynamic work recorded while an application runs."""
+
+    app: str
+    scalar: Counter = field(default_factory=Counter)   # smem/sarith/sctrl
+    kernel_items: Counter = field(default_factory=Counter)
+
+    def tally(self, smem: int = 0, sarith: int = 0, sctrl: int = 0) -> None:
+        """Record scalar-region instructions."""
+        if smem:
+            self.scalar["smem"] += int(smem)
+        if sarith:
+            self.scalar["sarith"] += int(sarith)
+        if sctrl:
+            self.scalar["sctrl"] += int(sctrl)
+
+    def call_kernel(self, kernel: str, items: float = 1.0) -> None:
+        """Record ``items`` batch-item invocations of a vectorised kernel."""
+        self.kernel_items[kernel] += items
+
+    @property
+    def scalar_instructions(self) -> int:
+        return sum(self.scalar.values())
+
+    def merge(self, other: "AppProfile") -> None:
+        self.scalar.update(other.scalar)
+        self.kernel_items.update(other.kernel_items)
+
+    def summary(self) -> Dict[str, float]:
+        out: Dict[str, float] = dict(self.scalar)
+        for kernel, items in self.kernel_items.items():
+            out[f"kernel:{kernel}"] = items
+        return out
+
+
+#: Scalar cost constants (dynamic instructions) for common app operations,
+#: calibrated against the emulated scalar kernel versions (e.g. the scalar
+#: motion1 executes ~5.4 instructions per pixel).  Each entry is
+#: (smem, sarith, sctrl).
+COSTS = {
+    # per coefficient: zig-zag gather, quantise (mul/round/shift), store
+    "quantize_coef": (2, 5, 0),
+    "dequantize_coef": (2, 3, 0),
+    # per (run, level) symbol: code lookup + bit packing
+    "vlc_encode_symbol": (3, 12, 2),
+    "vlc_decode_symbol": (4, 14, 3),
+    # per output byte of bitstream framing
+    "bitstream_byte": (2, 4, 1),
+    # per pixel of scalar pixel shuffling (subsampling, copies)
+    "pixel_copy": (2, 2, 0),
+    "pixel_average4": (4, 5, 0),
+    # per sample of scalar filtering (one MAC through memory)
+    "filter_tap": (2, 3, 0),
+    # per loop iteration of generic control overhead
+    "loop_iter": (0, 1, 1),
+    # per macroblock / block of header+mode decision logic
+    "block_overhead": (6, 18, 6),
+}
+
+
+def tally_cost(profile: AppProfile, op: str, count: float = 1.0) -> None:
+    """Tally ``count`` occurrences of a costed scalar operation."""
+    smem, sarith, sctrl = COSTS[op]
+    profile.tally(
+        smem=round(smem * count),
+        sarith=round(sarith * count),
+        sctrl=round(sctrl * count),
+    )

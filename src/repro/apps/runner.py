@@ -1,0 +1,59 @@
+"""Standard application runs used by the experiments (cached profiles)."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.apps.profile import AppProfile
+from repro.workloads import speech_signal, test_image, video_clip
+
+#: The six Mediabench applications of Table II, presentation order.
+APP_NAMES = ("jpegenc", "jpegdec", "mpeg2enc", "mpeg2dec", "gsmenc", "gsmdec")
+
+
+@lru_cache(maxsize=None)
+def _jpeg_artifacts(seed: int = 0):
+    from repro.apps.jpeg import decode_image, encode_image
+
+    image = test_image(128, 96, seed=seed)
+    bitstream, enc_profile = encode_image(image, quality=75)
+    _, dec_profile = decode_image(bitstream)
+    return enc_profile, dec_profile
+
+
+@lru_cache(maxsize=None)
+def _mpeg2_artifacts(seed: int = 0):
+    from repro.apps.mpeg2 import decode_video, encode_video
+
+    clip = video_clip(64, 48, frames=4, seed=seed)
+    bits, _, enc_profile = encode_video(clip)
+    _, dec_profile = decode_video(bits)
+    return enc_profile, dec_profile
+
+
+@lru_cache(maxsize=None)
+def _gsm_artifacts(seed: int = 0):
+    from repro.apps.gsm import decode_speech, encode_speech
+
+    speech = speech_signal(640, seed=seed)
+    bits, enc_profile = encode_speech(speech)
+    _, dec_profile = decode_speech(bits)
+    return enc_profile, dec_profile
+
+
+@lru_cache(maxsize=None)
+def run_app_profile(app: str, seed: int = 0) -> AppProfile:
+    """Execute one application on its standard workload; return profile."""
+    if app == "jpegenc":
+        return _jpeg_artifacts(seed)[0]
+    if app == "jpegdec":
+        return _jpeg_artifacts(seed)[1]
+    if app == "mpeg2enc":
+        return _mpeg2_artifacts(seed)[0]
+    if app == "mpeg2dec":
+        return _mpeg2_artifacts(seed)[1]
+    if app == "gsmenc":
+        return _gsm_artifacts(seed)[0]
+    if app == "gsmdec":
+        return _gsm_artifacts(seed)[1]
+    raise KeyError(f"unknown application {app!r}; expected one of {APP_NAMES}")

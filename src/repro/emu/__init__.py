@@ -1,0 +1,48 @@
+"""Emulation machines -- the paper's "emulation libraries".
+
+Each machine couples functional execution (values in registers and
+memory) with dynamic-trace emission, playing the role of the paper's
+ATOM-instrumented emulation libraries for MMX64, MMX128, VMMX64 and
+VMMX128 plus the scalar baseline.
+"""
+
+from typing import Optional
+
+from repro.emu.handles import AccReg, MAccReg, MReg, SReg, VReg
+from repro.emu.memory import Memory
+from repro.emu.mmx import MMXMachine
+from repro.emu.scalar import ScalarMachine
+from repro.emu.vmmx import VMMXMachine
+from repro.isa.trace import Trace
+
+#: The four SIMD extensions evaluated by the paper, in presentation order.
+ISA_NAMES = ("mmx64", "mmx128", "vmmx64", "vmmx128")
+
+#: All machine flavours, including the pure-scalar baseline.
+VERSION_NAMES = ("scalar",) + ISA_NAMES
+
+
+def make_machine(isa: str, mem: Memory, trace: Optional[Trace] = None):
+    """Instantiate the machine for an ISA name.
+
+    ``isa`` is one of ``scalar``, ``mmx64``, ``mmx128``, ``vmmx64``,
+    ``vmmx128``.
+    """
+    if isa == "scalar":
+        return ScalarMachine(mem, trace)
+    if isa == "mmx64":
+        return MMXMachine(mem, trace, width=8)
+    if isa == "mmx128":
+        return MMXMachine(mem, trace, width=16)
+    if isa == "vmmx64":
+        return VMMXMachine(mem, trace, row_bytes=8)
+    if isa == "vmmx128":
+        return VMMXMachine(mem, trace, row_bytes=16)
+    raise ValueError(f"unknown ISA {isa!r}; expected one of {VERSION_NAMES}")
+
+
+__all__ = [
+    "AccReg", "ISA_NAMES", "MAccReg", "MMXMachine", "MReg", "Memory",
+    "SReg", "ScalarMachine", "Trace", "VERSION_NAMES", "VMMXMachine",
+    "VReg", "make_machine",
+]

@@ -1,0 +1,69 @@
+"""Register value handles returned by emulation-machine intrinsics.
+
+Handles are SSA-like: every instruction that produces a value returns a
+fresh handle with a unique register id, so the timing model sees exact RAW
+dependences with no false sharing.  The handle also carries the functional
+value (a Python int for scalars, numpy arrays for SIMD/matrix registers),
+which is what makes the emulation machines usable as a correctness oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class SReg:
+    """A scalar (integer) register value."""
+
+    rid: int
+    val: int
+
+    def __int__(self) -> int:
+        return int(self.val)
+
+
+@dataclass
+class VReg:
+    """A 1-D SIMD register value (8 bytes for MMX64, 16 for MMX128)."""
+
+    rid: int
+    data: np.ndarray  # uint8, length == machine width
+
+    def view(self, dtype: np.dtype) -> np.ndarray:
+        """Reinterpret the register bytes as packed lanes of ``dtype``."""
+        return self.data.view(dtype)
+
+
+@dataclass
+class MReg:
+    """A 2-D matrix register value: (max_vl, row_bytes) bytes."""
+
+    rid: int
+    data: np.ndarray  # uint8, shape (max_vl, row_bytes)
+
+    def rows_view(self, dtype: np.dtype) -> np.ndarray:
+        """Reinterpret each row as packed lanes of ``dtype``."""
+        return self.data.view(dtype)
+
+
+@dataclass
+class AccReg:
+    """A packed reduction accumulator (MOM-style).
+
+    Functionally we track the exact running total in ``total``; the packed
+    partial-sum layout only affects timing, which the trace records carry.
+    """
+
+    rid: int
+    total: int
+
+
+@dataclass
+class MAccReg:
+    """A matrix multiply-accumulate register: (max_vl, cols) int64 lanes."""
+
+    rid: int
+    parts: np.ndarray  # int64, shape (max_vl, cols)

@@ -1,0 +1,31 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments            # everything
+    python -m repro.experiments fig4 fig5  # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    names = args or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}")
+        print(f"available: {', '.join(EXPERIMENTS)}")
+        return 1
+    for name in names:
+        print(EXPERIMENTS[name]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,190 @@
+"""Figures 4-7 of the paper: the evaluation results.
+
+Each ``figN_data`` function returns the numbers behind the paper's figure
+(speed-ups, cycle breakdowns, instruction counts) and each
+``figN_render`` formats them next to the paper's reported values where
+the paper gives any.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps import APP_NAMES, app_instruction_counts, app_timing, run_app_profile
+from repro.experiments.report import render_table
+from repro.kernels.registry import FIG4_KERNELS
+from repro.timing.config import ISAS, WAYS
+from repro.timing.simulator import simulate_kernel
+
+#: Speed-ups the paper quotes in the Fig. 4 discussion (§IV-A).
+FIG4_PAPER = {
+    ("idct", "mmx128"): 1.47,
+    ("ycc", "mmx128"): 1.43,
+    ("addblock", "mmx128"): 1.25,
+    ("h2v2", "mmx128"): 1.19,
+    ("idct", "vmmx128"): 4.10,
+    ("ycc", "vmmx128"): 2.71,
+    ("motion2", "vmmx128"): 2.43,
+    ("motion1", "vmmx128"): 2.29,
+}
+
+
+def fig4_data(way: int = 2) -> Dict[str, Dict[str, float]]:
+    """Kernel speed-ups over the 2-way MMX64 baseline (Fig. 4)."""
+    out: Dict[str, Dict[str, float]] = {}
+    for kernel in FIG4_KERNELS + ("fdct",):
+        base = simulate_kernel(kernel, "mmx64", 2).result.cycles
+        out[kernel] = {
+            isa: base / simulate_kernel(kernel, isa, way).result.cycles
+            for isa in ISAS
+        }
+    return out
+
+
+def fig4_render() -> str:
+    data = fig4_data()
+    rows = []
+    for kernel in FIG4_KERNELS + ("fdct",):
+        row: List[object] = [kernel if kernel != "fdct" else "fdct [extra]"]
+        for isa in ISAS:
+            row.append(data[kernel][isa])
+        paper = [
+            f"{isa}:{FIG4_PAPER[(kernel, isa)]}"
+            for isa in ISAS
+            if (kernel, isa) in FIG4_PAPER
+        ]
+        row.append(", ".join(paper) if paper else "-")
+        rows.append(row)
+    return render_table(
+        ("kernel",) + tuple(ISAS) + ("paper",),
+        rows,
+        title="Figure 4: kernel speed-ups on the 2-way core (baseline 2-way MMX64)",
+    )
+
+
+def fig5_data() -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Full-application speed-ups (Fig. 5), plus the 'average' panel."""
+    out: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for app in APP_NAMES:
+        profile = run_app_profile(app)
+        base = app_timing(profile, "mmx64", 2).total_cycles
+        out[app] = {
+            way: {
+                isa: base / app_timing(profile, isa, way).total_cycles
+                for isa in ISAS
+            }
+            for way in WAYS
+        }
+    average = {
+        way: {
+            isa: sum(out[app][way][isa] for app in APP_NAMES) / len(APP_NAMES)
+            for isa in ISAS
+        }
+        for way in WAYS
+    }
+    out["average"] = average
+    return out
+
+
+def fig5_render() -> str:
+    data = fig5_data()
+    rows = []
+    for app in APP_NAMES + ("average",):
+        for way in WAYS:
+            row: List[object] = [app, f"{way}-way"]
+            for isa in ISAS:
+                row.append(data[app][way][isa])
+            rows.append(row)
+    return render_table(
+        ("application", "machine") + tuple(ISAS),
+        rows,
+        title="Figure 5: full-application speed-ups (baseline 2-way MMX64)",
+    )
+
+
+def fig6_data(app: str = "jpegdec") -> Dict[int, Dict[str, Dict[str, float]]]:
+    """Scalar/vector cycle breakdown normalised to 2-way MMX64 = 100."""
+    profile = run_app_profile(app)
+    norm = app_timing(profile, "mmx64", 2).total_cycles / 100.0
+    out: Dict[int, Dict[str, Dict[str, float]]] = {}
+    for way in WAYS:
+        out[way] = {}
+        for isa in ISAS:
+            timing = app_timing(profile, isa, way)
+            out[way][isa] = {
+                "scalar": timing.scalar_cycles / norm,
+                "vector": timing.vector_cycles / norm,
+                "total": timing.total_cycles / norm,
+            }
+    return out
+
+
+def fig6_render(app: str = "jpegdec") -> str:
+    data = fig6_data(app)
+    rows = []
+    for way in WAYS:
+        for isa in ISAS:
+            cell = data[way][isa]
+            rows.append(
+                (
+                    f"{way}-way", isa, cell["scalar"], cell["vector"],
+                    cell["total"],
+                    f"{100 * cell['vector'] / cell['total']:.1f}%",
+                )
+            )
+    reduction = 100.0 * (1.0 - data[2]["vmmx128"]["vector"] / data[2]["mmx64"]["vector"])
+    share8 = 100.0 * data[8]["vmmx128"]["vector"] / data[8]["vmmx128"]["total"]
+    table = render_table(
+        ("machine", "isa", "scalar", "vector", "total", "vector share"),
+        rows,
+        title=f"Figure 6: cycle count distribution ({app}), 2-way MMX64 = 100",
+    )
+    return table + (
+        f"\n2-way VMMX128 vector-cycle reduction vs 2-way MMX64: {reduction:.0f}%"
+        " (paper: 85%)"
+        f"\n8-way VMMX128 vector share of total: {share8:.1f}% (paper: 2.7%)"
+    )
+
+
+def fig7_data() -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Dynamic instruction counts by category, normalised to MMX64 = 100."""
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for app in APP_NAMES:
+        profile = run_app_profile(app)
+        base_counts = app_instruction_counts(profile, "mmx64")
+        norm = sum(base_counts.values()) / 100.0
+        out[app] = {}
+        for isa in ISAS:
+            counts = app_instruction_counts(profile, isa)
+            out[app][isa] = {cat: val / norm for cat, val in counts.items()}
+            out[app][isa]["total"] = sum(counts.values()) / norm
+    return out
+
+
+def fig7_render() -> str:
+    data = fig7_data()
+    rows = []
+    for app in APP_NAMES:
+        for isa in ISAS:
+            cell = data[app][isa]
+            rows.append(
+                (
+                    app, isa, cell["smem"], cell["sarith"], cell["sctrl"],
+                    cell["vmem"], cell["varith"], cell["total"],
+                )
+            )
+    table = render_table(
+        ("application", "isa", "smem", "sarith", "sctrl", "vmem", "varith", "total"),
+        rows,
+        title="Figure 7: dynamic instruction count by category (MMX64 = 100)",
+    )
+    vmmx_avg = sum(
+        data[app]["vmmx128"]["total"] for app in APP_NAMES
+    ) / len(APP_NAMES)
+    mmx128_avg = sum(
+        data[app]["mmx128"]["total"] for app in APP_NAMES
+    ) / len(APP_NAMES)
+    return table + (
+        f"\naverage VMMX128 total: {vmmx_avg:.0f} (paper: ~70, i.e. ~30% fewer)"
+        f"\naverage MMX128 total: {mmx128_avg:.0f} (paper: ~85, i.e. ~15% fewer)"
+    )

@@ -1,0 +1,153 @@
+"""Tables I-IV of the paper: configuration and cost-model reproduction.
+
+Tables II-IV are configuration tables -- regenerating them from the
+registries proves the modelled system matches the paper's description.
+Table I additionally carries the register-file cost model results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.hw.regfile import DEFAULT_PITCH, table1_rows
+from repro.kernels.registry import KERNELS
+from repro.timing.config import CONFIGS, ISAS, MEM_CONFIGS, WAYS
+from repro.experiments.report import render_table
+
+
+def table1_data(pitch: float = DEFAULT_PITCH) -> List[dict]:
+    """Register-file scaling rows (geometry, storage, area vs paper)."""
+    return table1_rows(pitch)
+
+
+def table1_render() -> str:
+    rows = [
+        (
+            r["config"], r["logical"], r["physical"], r["lanes"],
+            r["banks_per_lane"], r["read_ports"], r["write_ports"],
+            r["storage_kb"], r["paper_storage_kb"],
+            r["area_ratio"], r["paper_area_ratio"],
+        )
+        for r in table1_data()
+    ]
+    return render_table(
+        (
+            "config", "logical", "physical", "lanes", "banks/lane",
+            "R-ports", "W-ports", "KB", "KB(paper)", "area", "area(paper)",
+        ),
+        rows,
+        title="Table I: scaling register files for SIMD extensions",
+    )
+
+
+def table2_data() -> List[dict]:
+    """Benchmark set description from the kernel registry."""
+    return [
+        {
+            "app": spec.app,
+            "kernel": spec.name,
+            "description": spec.description,
+            "data_size": spec.data_size,
+        }
+        for spec in KERNELS.values()
+    ]
+
+
+def table2_render() -> str:
+    rows = [
+        (r["app"], r["kernel"], r["description"], r["data_size"])
+        for r in table2_data()
+    ]
+    return render_table(
+        ("application", "kernel", "description", "data size"),
+        rows,
+        title="Table II: benchmark set description",
+    )
+
+
+def table3_data() -> Dict[str, List[int]]:
+    """Modeled processor parameters per extension family."""
+    out: Dict[str, List] = {}
+    for isa in ISAS:
+        configs = [CONFIGS[(isa, way)] for way in WAYS]
+        out[isa] = {
+            "physical_simd_regs": [c.phys_simd_regs for c in configs],
+            "fetch_decode_grad": [c.fetch_width for c in configs],
+            "int_fus": [c.int_fus for c in configs],
+            "fp_fus": [c.fp_fus for c in configs],
+            "simd_issue": [c.simd_issue for c in configs],
+            "simd_fus": [
+                f"{c.simd_fu_groups}x{c.lanes}" if c.is_matrix else str(c.simd_fu_groups)
+                for c in configs
+            ],
+            "mem_ports_l1": [c.mem_ports for c in configs],
+        }
+    return out
+
+
+def table3_render() -> str:
+    data = table3_data()
+    rows = []
+    for param in (
+        "physical_simd_regs", "fetch_decode_grad", "int_fus", "fp_fus",
+        "simd_issue", "simd_fus", "mem_ports_l1",
+    ):
+        row = [param]
+        for isa in ISAS:
+            row.append("/".join(str(v) for v in data[isa][param]))
+        rows.append(row)
+    return render_table(
+        ("parameter (2/4/8-way)",) + tuple(ISAS),
+        rows,
+        title="Table III: modeled processors",
+    )
+
+
+def table4_data() -> List[dict]:
+    """Memory hierarchy configuration rows."""
+    rows = []
+    for level in ("l1", "l2"):
+        cfgs = [getattr(MEM_CONFIGS[way], level) for way in WAYS]
+        base = cfgs[0]
+        rows.append(
+            {
+                "level": level.upper(),
+                "size_kb": base.size // 1024,
+                "ports": "/".join(str(c.ports if level == "l1" else c.ports) for c in cfgs),
+                "port_bytes": "/".join(str(c.port_bytes) for c in cfgs),
+                "assoc": base.assoc,
+                "line": base.line,
+                "latency": base.latency,
+            }
+        )
+    rows.append(
+        {
+            "level": "Main memory",
+            "size_kb": "-", "ports": "-", "port_bytes": "-",
+            "assoc": "-", "line": "-",
+            "latency": MEM_CONFIGS[2].main_latency,
+        }
+    )
+    return rows
+
+
+def table4_render() -> str:
+    mmx_ports = "/".join(str(CONFIGS[("mmx64", w)].mem_ports) for w in WAYS)
+    rows = [
+        (
+            r["level"], r["size_kb"], r["ports"], r["port_bytes"],
+            r["assoc"], r["line"], r["latency"],
+        )
+        for r in table4_data()
+    ]
+    vmmx_ports = "/".join(str(CONFIGS[("vmmx64", w)].mem_ports) for w in WAYS)
+    table = render_table(
+        ("level", "size KB", "ports", "port bytes", "assoc", "line", "latency"),
+        rows,
+        title="Table IV: memory hierarchy configuration",
+    )
+    return (
+        table
+        + f"\n(L1 ports per way: {mmx_ports} for MMX, {vmmx_ports} for VMMX;"
+        " VMMX vector accesses bypass L1 to the L2 vector cache.)"
+    )

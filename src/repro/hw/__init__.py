@@ -1,0 +1,15 @@
+"""Hardware cost models (register-file area, Table I)."""
+
+from repro.hw.regfile import (
+    REGFILES,
+    RegFileGeometry,
+    area_model,
+    area_ratio,
+    fit_pitch_constant,
+    table1_rows,
+)
+
+__all__ = [
+    "REGFILES", "RegFileGeometry", "area_model", "area_ratio",
+    "fit_pitch_constant", "table1_rows",
+]

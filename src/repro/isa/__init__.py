@@ -1,0 +1,19 @@
+"""Instruction-set foundations shared by every emulated extension.
+
+This subpackage defines the three layers everything else builds on:
+
+* :mod:`repro.isa.subword` -- packed subword arithmetic with MMX/SSE
+  semantics (wrap-around and saturating adds, widening multiplies,
+  sum-of-absolute-differences, saturating packs).
+* :mod:`repro.isa.opcodes` -- the dynamic-instruction taxonomy used by the
+  paper (scalar memory / scalar arithmetic / control / vector memory /
+  vector arithmetic), functional-unit classes and execution latencies.
+* :mod:`repro.isa.trace` -- the dynamic trace record stream produced by the
+  emulation machines and consumed by the timing model, mirroring the
+  ATOM-generated traces the paper fed to the Jinks simulator.
+"""
+
+from repro.isa.opcodes import Category, FUClass, Latency
+from repro.isa.trace import Trace, TraceRecord
+
+__all__ = ["Category", "FUClass", "Latency", "Trace", "TraceRecord"]

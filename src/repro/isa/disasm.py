@@ -1,0 +1,70 @@
+"""Trace disassembly: render dynamic traces as readable listings.
+
+The paper presents its kernels as assembly-style listings (Fig. 3).
+This module renders any captured trace the same way, which is how the
+examples show the "shape" of each ISA version and how tests pin the
+structure of the generated code.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Optional
+
+from repro.isa.opcodes import Category
+from repro.isa.trace import Trace, TraceRecord
+
+
+def format_record(rec: TraceRecord) -> str:
+    """One assembly-like line for a trace record."""
+    dst = ",".join(f"r{d}" for d in rec.dsts)
+    src = ",".join(f"r{s}" for s in rec.srcs)
+    operands = " <- ".join(part for part in (dst, src) if part) or "-"
+    extras = []
+    if rec.is_mem:
+        mode = "st" if rec.is_store else "ld"
+        extras.append(f"{mode}@0x{rec.addr:x}/{rec.row_bytes}B")
+        if rec.rows > 1:
+            extras.append(f"rows={rec.rows} stride={rec.stride}")
+    elif rec.rows > 1:
+        extras.append(f"rows={rec.rows}")
+    if rec.is_branch:
+        extras.append("taken" if rec.taken else "not-taken")
+    tail = (" ; " + " ".join(extras)) if extras else ""
+    return f"{rec.name:<12s} {operands}{tail}"
+
+
+def listing(trace: Trace, limit: Optional[int] = None) -> str:
+    """A numbered listing of (a prefix of) the trace."""
+    lines: List[str] = []
+    for i, rec in enumerate(trace):
+        if limit is not None and i >= limit:
+            lines.append(f"... ({len(trace) - limit} more)")
+            break
+        lines.append(f"{i:5d}  [{rec.category.value:>6s}] {format_record(rec)}")
+    return "\n".join(lines)
+
+
+def mnemonic_histogram(trace: Trace, top: int = 12) -> List[tuple]:
+    """The most frequent mnemonics with counts (static shape of the code)."""
+    counts = Counter(rec.name for rec in trace)
+    return counts.most_common(top)
+
+
+def side_by_side(traces: Iterable[Trace], limit: int = 18, width: int = 38) -> str:
+    """Fig.-3-style comparison: the first instructions of several traces."""
+    traces = list(traces)
+    columns = []
+    for trace in traces:
+        col = [trace.name or "trace"] + [
+            format_record(rec)[: width - 2] for rec in trace.records[:limit]
+        ]
+        columns.append(col)
+    depth = max(len(col) for col in columns)
+    lines = []
+    for row in range(depth):
+        cells = [
+            (col[row] if row < len(col) else "").ljust(width) for col in columns
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""Packed subword arithmetic with MMX/SSE semantics.
+
+Every helper operates on numpy integer arrays, computes exactly in int64
+and then narrows with either wrap-around (modulo) or saturating semantics.
+These functions define the *functional* meaning of the SIMD instructions;
+the emulation machines in :mod:`repro.emu` wrap them with trace emission.
+
+The fixed-point behaviour is deliberately explicit so that the scalar,
+MMX64, MMX128, VMMX64 and VMMX128 versions of every kernel can be proven
+bit-exact against the golden references in :mod:`repro.kernels`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Inclusive (lo, hi) bounds for each supported subword type.
+BOUNDS = {
+    "u8": (0, 255),
+    "s8": (-128, 127),
+    "u16": (0, 65535),
+    "s16": (-32768, 32767),
+    "u32": (0, 4294967295),
+    "s32": (-2147483648, 2147483647),
+    "u64": (0, 18446744073709551615),
+}
+
+#: numpy dtype used to *store* each subword type.
+STORAGE = {
+    "u8": np.uint8,
+    "s8": np.int8,
+    "u16": np.uint16,
+    "s16": np.int16,
+    "u32": np.uint32,
+    "s32": np.int32,
+    "u64": np.uint64,
+}
+
+#: Width of each subword type in bytes.
+WIDTH = {"u8": 1, "s8": 1, "u16": 2, "s16": 2, "u32": 4, "s32": 4, "u64": 8}
+
+
+def _wide(a: np.ndarray) -> np.ndarray:
+    """Promote to int64 for exact intermediate arithmetic."""
+    return np.asarray(a, dtype=np.int64)
+
+
+def saturate(a: np.ndarray, dtype: str) -> np.ndarray:
+    """Clamp ``a`` to the range of ``dtype`` and narrow to its storage type."""
+    lo, hi = BOUNDS[dtype]
+    return np.clip(_wide(a), lo, hi).astype(STORAGE[dtype])
+
+
+def wrap(a: np.ndarray, dtype: str) -> np.ndarray:
+    """Narrow ``a`` to ``dtype`` with modulo (two's-complement) semantics."""
+    return _wide(a).astype(STORAGE[dtype])
+
+
+def add_wrap(a: np.ndarray, b: np.ndarray, dtype: str) -> np.ndarray:
+    """``PADDB/PADDW/PADDD``: element-wise add with wrap-around."""
+    return wrap(_wide(a) + _wide(b), dtype)
+
+
+def add_sat(a: np.ndarray, b: np.ndarray, dtype: str) -> np.ndarray:
+    """``PADDSB/PADDSW/PADDUSB/PADDUSW``: element-wise saturating add."""
+    return saturate(_wide(a) + _wide(b), dtype)
+
+
+def sub_wrap(a: np.ndarray, b: np.ndarray, dtype: str) -> np.ndarray:
+    """``PSUBB/PSUBW``: element-wise subtract with wrap-around."""
+    return wrap(_wide(a) - _wide(b), dtype)
+
+
+def sub_sat(a: np.ndarray, b: np.ndarray, dtype: str) -> np.ndarray:
+    """``PSUBSB/PSUBSW/PSUBUSB``: element-wise saturating subtract."""
+    return saturate(_wide(a) - _wide(b), dtype)
+
+
+def mul_lo(a: np.ndarray, b: np.ndarray, dtype: str) -> np.ndarray:
+    """``PMULLW``: element-wise multiply keeping the low half (wraps)."""
+    return wrap(_wide(a) * _wide(b), dtype)
+
+
+def mul_hi_s16(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``PMULHW``: signed 16x16 multiply keeping the high 16 bits."""
+    prod = _wide(a) * _wide(b)
+    return ((prod >> 16) & 0xFFFF).astype(np.uint16).view(np.int16).astype(np.int16)
+
+
+def madd_s16(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``PMADDWD``: multiply signed 16-bit pairs and add adjacent products.
+
+    ``a`` and ``b`` are flat arrays of signed 16-bit lanes with even length;
+    the result has half as many signed 32-bit lanes, lane ``i`` holding
+    ``a[2i]*b[2i] + a[2i+1]*b[2i+1]`` computed exactly and wrapped to 32
+    bits (the hardware wraps only in the pathological all -32768 case).
+    """
+    prod = _wide(a) * _wide(b)
+    pairs = prod.reshape(-1, 2).sum(axis=1)
+    return wrap(pairs, "s32")
+
+
+def abs_diff_sum_u8(a: np.ndarray, b: np.ndarray) -> int:
+    """``PSADBW``-style reduction: sum of absolute byte differences."""
+    return int(np.abs(_wide(a) - _wide(b)).sum())
+
+
+def sq_diff_sum_u8(a: np.ndarray, b: np.ndarray) -> int:
+    """Sum of squared byte differences (the paper's `motion2` reduction)."""
+    d = _wide(a) - _wide(b)
+    return int((d * d).sum())
+
+
+def avg_round_u8(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``PAVGB``: element-wise rounded average ``(a + b + 1) >> 1``."""
+    return ((_wide(a) + _wide(b) + 1) >> 1).astype(np.uint8)
+
+
+def shift_right_logical(a: np.ndarray, count: int, dtype: str) -> np.ndarray:
+    """``PSRLW/PSRLD``: element-wise logical right shift."""
+    mask = (1 << (8 * WIDTH[dtype])) - 1
+    return wrap((_wide(a) & mask) >> count, dtype)
+
+
+def shift_right_arith(a: np.ndarray, count: int, dtype: str) -> np.ndarray:
+    """``PSRAW/PSRAD``: element-wise arithmetic right shift."""
+    return wrap(_wide(a) >> count, dtype)
+
+
+def shift_left(a: np.ndarray, count: int, dtype: str) -> np.ndarray:
+    """``PSLLW/PSLLD``: element-wise left shift (wraps)."""
+    return wrap(_wide(a) << count, dtype)
+
+
+def pack_sat(a: np.ndarray, b: np.ndarray, dtype: str) -> np.ndarray:
+    """``PACKUSWB/PACKSSWB``: concatenate and saturate to a narrower type."""
+    return saturate(np.concatenate([_wide(a), _wide(b)]), dtype)
+
+
+def interleave_lo(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``PUNPCKL*``: interleave the low halves of two lane arrays."""
+    half = len(a) // 2
+    out = np.empty(len(a), dtype=a.dtype)
+    out[0::2] = a[:half]
+    out[1::2] = b[:half]
+    return out
+
+
+def interleave_hi(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``PUNPCKH*``: interleave the high halves of two lane arrays."""
+    half = len(a) // 2
+    out = np.empty(len(a), dtype=a.dtype)
+    out[0::2] = a[half:]
+    out[1::2] = b[half:]
+    return out
+
+
+def round_shift(a: np.ndarray, shift: int, dtype: str = "s32") -> np.ndarray:
+    """Fixed-point rounding shift ``(a + (1 << (shift-1))) >> shift``.
+
+    This is the canonical rounding used by every DCT/colour-conversion
+    kernel in the repository; defining it once keeps all five ISA versions
+    of each kernel bit-identical.
+    """
+    if shift == 0:
+        return wrap(_wide(a), dtype)
+    return wrap((_wide(a) + (1 << (shift - 1))) >> shift, dtype)

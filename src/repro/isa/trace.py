@@ -1,0 +1,128 @@
+"""Dynamic instruction trace records and streams.
+
+A :class:`TraceRecord` is the contract between the emulation machines
+(:mod:`repro.emu`) and the timing model (:mod:`repro.timing`): it carries
+everything the timing model needs -- category, functional unit, register
+dependences, memory footprint, vector row count and branch outcome -- and
+nothing about values, which the emulation machines have already computed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+from repro.isa.opcodes import Category, FUClass
+
+
+@dataclass(slots=True)
+class TraceRecord:
+    """One dynamic instruction.
+
+    ``rows`` is 1 for scalar and MMX instructions; for VMMX instructions it
+    is the vector length (number of 64/128-bit matrix rows processed).
+    ``stride`` is the byte distance between consecutive rows of a vector
+    memory access; ``stride == row_bytes`` means unit-stride.
+    """
+
+    name: str
+    category: Category
+    fu: FUClass
+    latency: int
+    dsts: Tuple[int, ...] = ()
+    srcs: Tuple[int, ...] = ()
+    addr: int = -1
+    row_bytes: int = 0
+    rows: int = 1
+    stride: int = 0
+    is_store: bool = False
+    is_branch: bool = False
+    taken: bool = False
+    pc: int = 0  # static-branch identity for the branch predictor
+
+    @property
+    def is_mem(self) -> bool:
+        """Whether this record touches memory."""
+        return self.addr >= 0
+
+    @property
+    def element_ops(self) -> int:
+        """Number of element-row operations this instruction performs."""
+        return self.rows
+
+
+class Trace:
+    """An append-only stream of :class:`TraceRecord` with running counts."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.records: list[TraceRecord] = []
+        self.counts: Counter = Counter()
+
+    def append(self, record: TraceRecord) -> None:
+        """Add one dynamic instruction to the stream."""
+        self.records.append(record)
+        self.counts[record.category] += 1
+
+    def extend(self, other: "Trace") -> None:
+        """Concatenate another trace (used to batch kernel invocations)."""
+        self.records.extend(other.records)
+        self.counts.update(other.counts)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def count(self, category: Optional[Category] = None) -> int:
+        """Total dynamic instructions, optionally for one category."""
+        if category is None:
+            return len(self.records)
+        return self.counts[category]
+
+    def category_counts(self) -> dict:
+        """Counts keyed by category value string (smem, sarith, ...)."""
+        return {cat.value: self.counts[cat] for cat in Category}
+
+    def vector_fraction(self) -> float:
+        """Fraction of dynamic instructions in vector categories."""
+        if not self.records:
+            return 0.0
+        vec = self.counts[Category.VMEM] + self.counts[Category.VARITH]
+        return vec / len(self.records)
+
+    def summary(self) -> str:
+        """One-line human-readable summary of the stream."""
+        parts = ", ".join(
+            f"{cat.value}={self.counts[cat]}" for cat in Category if self.counts[cat]
+        )
+        return f"Trace({self.name or 'anon'}: {len(self.records)} instrs; {parts})"
+
+
+@dataclass
+class TraceStats:
+    """Aggregated per-category statistics over one or more traces."""
+
+    instructions: Counter = field(default_factory=Counter)
+    element_ops: Counter = field(default_factory=Counter)
+
+    def add_trace(self, trace: Trace, scale: int = 1) -> None:
+        """Accumulate a trace's counts, optionally scaled by invocations."""
+        for record in trace:
+            self.instructions[record.category] += scale
+            self.element_ops[record.category] += record.rows * scale
+
+    def add_counts(self, category: Category, instructions: int) -> None:
+        """Accumulate externally-tallied counts (application scalar code)."""
+        self.instructions[category] += instructions
+        self.element_ops[category] += instructions
+
+    def total(self) -> int:
+        """Total dynamic instruction count."""
+        return sum(self.instructions.values())
+
+    def by_value(self) -> dict:
+        """Instruction counts keyed by category value string."""
+        return {cat.value: self.instructions[cat] for cat in Category}

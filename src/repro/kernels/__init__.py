@@ -1,0 +1,20 @@
+"""The paper's Mediabench kernels, five ISA versions each (Table II)."""
+
+from repro.kernels.base import KernelRun, KernelSpec, execute, outputs_equal
+
+__all__ = ["KernelRun", "KernelSpec", "execute", "outputs_equal", "KERNELS", "kernel_names"]
+
+
+def __getattr__(name):
+    if name == "KERNELS":
+        from repro.kernels.registry import KERNELS
+
+        return KERNELS
+    raise AttributeError(f"module 'repro.kernels' has no attribute {name!r}")
+
+
+def kernel_names():
+    """All kernel names in the paper's Fig. 4 order (plus fdct)."""
+    from repro.kernels.registry import KERNELS
+
+    return list(KERNELS)

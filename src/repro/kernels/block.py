@@ -1,0 +1,269 @@
+"""Block-decoding kernels of mpeg2dec: ``comp`` and ``addblock``.
+
+``comp`` models the motion-compensation averaging of the MPEG-2 decoder:
+an 8x4 pixel block averaged against a prediction with rounding, both with
+a frame stride of 800 (the paper notes exactly this geometry).  Its data
+occupies a *small fraction* of the matrix registers (VL=4), which is why
+the paper reports small speed-ups for every extension.
+
+``addblock`` models picture reconstruction: saturating addition of a
+signed 16-bit IDCT residual onto 8-bit prediction, an 8x8 block.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.isa import subword as sw
+from repro.kernels.base import KernelSpec, Workload
+
+STRIDE = 800
+
+COMP_W, COMP_H = 8, 4
+N_COMP_BLOCKS = 20
+
+ADD_W, ADD_H = 8, 8
+N_ADD_BLOCKS = 24
+
+
+# --------------------------------------------------------------------------
+# comp: motion compensation (rounded average)
+# --------------------------------------------------------------------------
+
+def _comp_workload(mem, seed: int) -> Workload:
+    rng = np.random.default_rng(seed)
+    rows = COMP_H + N_COMP_BLOCKS
+    src1 = rng.integers(0, 256, (rows, STRIDE), dtype=np.uint8)
+    src2 = rng.integers(0, 256, (rows, STRIDE), dtype=np.uint8)
+    a1 = mem.alloc_array(src1)
+    a2 = mem.alloc_array(src2)
+    out = mem.alloc(rows * STRIDE)
+    blocks = []
+    for i in range(N_COMP_BLOCKS):
+        col = (i * 24) % (STRIDE - COMP_W)
+        row = i % 8
+        base = row * STRIDE + col
+        blocks.append(
+            {
+                "p1": a1 + base,
+                "p2": a2 + base,
+                "po": out + base,
+                "a": src1[row : row + COMP_H, col : col + COMP_W].copy(),
+                "b": src2[row : row + COMP_H, col : col + COMP_W].copy(),
+                "out_base": out + base,
+            }
+        )
+    return {"blocks": blocks, "stride": STRIDE}
+
+
+def _comp_golden(wl: Workload) -> List[np.ndarray]:
+    return [
+        sw.avg_round_u8(blk["a"], blk["b"]).reshape(COMP_H, COMP_W)
+        for blk in wl["blocks"]
+    ]
+
+
+def _comp_read(mem, wl: Workload) -> List[np.ndarray]:
+    return [
+        mem.read_rows(blk["out_base"], COMP_H, COMP_W, wl["stride"])
+        for blk in wl["blocks"]
+    ]
+
+
+def comp_scalar(m, wl: Workload) -> None:
+    stride = m.li(wl["stride"])
+    for blk in wl["blocks"]:
+        p1 = m.li(blk["p1"])
+        p2 = m.li(blk["p2"])
+        po = m.li(blk["po"])
+        for _ in m.loop(COMP_H):
+            for c in m.loop(COMP_W):
+                v1 = m.load_u8(p1, c)
+                v2 = m.load_u8(p2, c)
+                s = m.add(m.add(v1, v2), 1)
+                m.store_u8(m.sra(s, 1), po, c)
+            p1 = m.add(p1, stride)
+            p2 = m.add(p2, stride)
+            po = m.add(po, stride)
+
+
+def comp_mmx(m, wl: Workload) -> None:
+    """Row-at-a-time ``pavgb``; MMX128 gains nothing (rows are 8 bytes)."""
+    stride = m.li(wl["stride"])
+    for blk in wl["blocks"]:
+        p1 = m.li(blk["p1"])
+        p2 = m.li(blk["p2"])
+        po = m.li(blk["po"])
+        for _ in m.loop(COMP_H):
+            if m.width == 8:
+                v1 = m.load(p1)
+                v2 = m.load(p2)
+                m.store(m.pavgb(v1, v2), po)
+            else:
+                v1 = m.load_low(p1, COMP_W)
+                v2 = m.load_low(p2, COMP_W)
+                m.store_low(m.pavgb(v1, v2), po, COMP_W)
+            p1 = m.add(p1, stride)
+            p2 = m.add(p2, stride)
+            po = m.add(po, stride)
+
+
+def comp_vmmx(m, wl: Workload) -> None:
+    """One VL=4 strided load per operand; VMMX128 needs partial rows."""
+    m.setvl(COMP_H)
+    stride = m.li(wl["stride"])
+    for blk in wl["blocks"]:
+        p1 = m.li(blk["p1"])
+        p2 = m.li(blk["p2"])
+        po = m.li(blk["po"])
+        if m.row_bytes == COMP_W:
+            v1 = m.vload(p1, stride)
+            v2 = m.vload(p2, stride)
+            m.vstore(m.vavg_u8(v1, v2), po, stride)
+        else:
+            v1 = m.vload_part(p1, COMP_W, stride)
+            v2 = m.vload_part(p2, COMP_W, stride)
+            m.vstore_part(m.vavg_u8(v1, v2), po, COMP_W, stride)
+
+
+COMP = KernelSpec(
+    name="comp",
+    app="mpeg2dec",
+    description="Motion compensation (rounded average)",
+    data_size="8x4 8-bit",
+    make_workload=_comp_workload,
+    golden=_comp_golden,
+    read_output=_comp_read,
+    versions={
+        "scalar": comp_scalar,
+        "mmx64": comp_mmx,
+        "mmx128": comp_mmx,
+        "vmmx64": comp_vmmx,
+        "vmmx128": comp_vmmx,
+    },
+    batch=N_COMP_BLOCKS,
+)
+
+
+# --------------------------------------------------------------------------
+# addblock: residual addition with saturation
+# --------------------------------------------------------------------------
+
+def _addblock_workload(mem, seed: int) -> Workload:
+    rng = np.random.default_rng(seed)
+    rows = ADD_H + N_ADD_BLOCKS
+    pred = rng.integers(0, 256, (rows, STRIDE), dtype=np.uint8)
+    pred_addr = mem.alloc_array(pred)
+    out = mem.alloc(rows * STRIDE)
+    blocks = []
+    for i in range(N_ADD_BLOCKS):
+        col = (i * 16) % (STRIDE - ADD_W)
+        row = i % 8
+        res = rng.integers(-256, 257, (ADD_H, ADD_W)).astype(np.int16)
+        res_addr = mem.alloc_array(res)
+        base = row * STRIDE + col
+        blocks.append(
+            {
+                "pp": pred_addr + base,
+                "pr": res_addr,
+                "po": out + base,
+                "pred": pred[row : row + ADD_H, col : col + ADD_W].copy(),
+                "res": res,
+            }
+        )
+    return {"blocks": blocks, "stride": STRIDE}
+
+
+def _addblock_golden(wl: Workload) -> List[np.ndarray]:
+    return [
+        sw.saturate(blk["pred"].astype(np.int64) + blk["res"].astype(np.int64), "u8")
+        for blk in wl["blocks"]
+    ]
+
+
+def _addblock_read(mem, wl: Workload) -> List[np.ndarray]:
+    return [
+        mem.read_rows(blk["po"], ADD_H, ADD_W, wl["stride"])
+        for blk in wl["blocks"]
+    ]
+
+
+def addblock_scalar(m, wl: Workload) -> None:
+    stride = m.li(wl["stride"])
+    for blk in wl["blocks"]:
+        pp = m.li(blk["pp"])
+        pr = m.li(blk["pr"])
+        po = m.li(blk["po"])
+        for _ in m.loop(ADD_H):
+            for c in m.loop(ADD_W):
+                p = m.load_u8(pp, c)
+                r = m.load_s16(pr, 2 * c)
+                m.store_u8(m.clamp(m.add(p, r), 0, 255), po, c)
+            pp = m.add(pp, stride)
+            pr = m.add(pr, 2 * ADD_W)
+            po = m.add(po, stride)
+
+
+def addblock_mmx(m, wl: Workload) -> None:
+    stride = m.li(wl["stride"])
+    for blk in wl["blocks"]:
+        pp = m.li(blk["pp"])
+        pr = m.li(blk["pr"])
+        po = m.li(blk["po"])
+        for _ in m.loop(ADD_H):
+            if m.width == 8:
+                pred = m.load(pp)
+                lo = m.padd(m.unpack_u8_to_u16_lo(pred), m.load(pr), "s16")
+                hi = m.padd(m.unpack_u8_to_u16_hi(pred), m.load(pr, 8), "s16")
+                m.store(m.packus(lo, hi), po)
+            else:
+                pred = m.load_low(pp, ADD_W)
+                res = m.load(pr)
+                total = m.padd(m.unpack_u8_to_u16_lo(pred), res, "s16")
+                m.store_low(m.packus(total, total), po, ADD_W)
+            pp = m.add(pp, stride)
+            pr = m.add(pr, 2 * ADD_W)
+            po = m.add(po, stride)
+
+
+def addblock_vmmx(m, wl: Workload) -> None:
+    m.setvl(ADD_H)
+    stride = m.li(wl["stride"])
+    res_stride = m.li(2 * ADD_W)
+    for blk in wl["blocks"]:
+        pp = m.li(blk["pp"])
+        pr = m.li(blk["pr"])
+        po = m.li(blk["po"])
+        if m.row_bytes == 8:
+            pred = m.vload(pp, stride)
+            res_lo = m.vload(pr, res_stride)
+            res_hi = m.vload(pr, res_stride, 8)
+            lo = m.vadd(m.vunpack_u8_to_u16(pred, "lo"), res_lo, "s16")
+            hi = m.vadd(m.vunpack_u8_to_u16(pred, "hi"), res_hi, "s16")
+            m.vstore(m.vpack_u16_to_u8(lo, hi), po, stride)
+        else:
+            pred = m.vload_part(pp, ADD_W, stride)
+            res = m.vload(pr)  # residual rows are contiguous: unit stride
+            total = m.vadd(m.vunpack_u8_to_u16(pred, "lo"), res, "s16")
+            m.vstore_part(m.vpack_u16_to_u8(total), po, ADD_W, stride)
+
+
+ADDBLOCK = KernelSpec(
+    name="addblock",
+    app="mpeg2dec",
+    description="Picture reconstruction (saturating residual add)",
+    data_size="8x8 8-bit",
+    make_workload=_addblock_workload,
+    golden=_addblock_golden,
+    read_output=_addblock_read,
+    versions={
+        "scalar": addblock_scalar,
+        "mmx64": addblock_mmx,
+        "mmx128": addblock_mmx,
+        "vmmx64": addblock_vmmx,
+        "vmmx128": addblock_vmmx,
+    },
+    batch=N_ADD_BLOCKS,
+)

@@ -1,0 +1,319 @@
+"""Colour-space conversion kernels: ``rgb`` (jpegenc) and ``ycc`` (jpegdec).
+
+``rgb`` converts interleaved RGB triads to interleaved YCC.  The
+interleaved layout is what makes it awkward for every extension (the
+paper: "the vectorization happens along the color space dimension" and
+"the order in which results must be stored in memory does not benefit the
+VMMX64 version"):
+
+* MMX versions pay a byte (de)interleave network on both sides.
+* VMMX64 loads one *pixel per matrix row* with a byte stride of 3 --
+  only three lanes of each row carry data, and both the loads and the
+  overlapping stores take the slow strided path.
+* VMMX128 packs *two* pixels per row (the paper: the 128-bit version
+  "overcomes this limitation by allowing to pack more sub-word data into
+  the matrix register") and uses the new partial load/store instructions.
+
+``ycc`` converts planar Y/Cb/Cr to planar RGB along full image rows --
+unit-stride, long vectors, the friendliest possible layout for the matrix
+extension (paper Fig. 4: one of the largest VMMX speed-ups).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.kernels.base import KernelSpec, Workload
+from repro.kernels.common import (
+    COLOR_SHIFT,
+    RGB2YCC,
+    YCC2RGB_CB_B,
+    YCC2RGB_CB_G,
+    YCC2RGB_CR_G,
+    YCC2RGB_CR_R,
+    deinterleave3_mmx,
+    interleave3_mmx,
+    rgb_to_ycc_golden,
+    ycc_to_rgb_golden,
+)
+
+RGB_PIXELS = 1536  # 8 rows x 192 px
+YCC_W, YCC_H = 256, 16
+
+
+# --------------------------------------------------------------------------
+# rgb: interleaved RGB -> interleaved YCC
+# --------------------------------------------------------------------------
+
+def _rgb_workload(mem, seed: int) -> Workload:
+    rng = np.random.default_rng(seed)
+    base = rng.integers(0, 256, (RGB_PIXELS, 3))
+    # Natural-image statistics: channels correlate.
+    rgb = np.clip(
+        base * 0.4 + rng.integers(0, 256, (RGB_PIXELS, 1)) * 0.6, 0, 255
+    ).astype(np.uint8)
+    in_addr = mem.alloc_array(rgb.reshape(-1))
+    out_addr = mem.alloc(RGB_PIXELS * 3 + 64)  # slack for overlapping stores
+    return {"rgb": rgb, "in": in_addr, "out": out_addr, "n": RGB_PIXELS}
+
+
+def _rgb_golden(wl: Workload) -> np.ndarray:
+    return rgb_to_ycc_golden(wl["rgb"])
+
+
+def _rgb_read(mem, wl: Workload) -> np.ndarray:
+    return mem.read(wl["out"], wl["n"] * 3).reshape(-1, 3)
+
+
+def rgb_scalar(m, wl: Workload) -> None:
+    pin = m.li(wl["in"])
+    pout = m.li(wl["out"])
+    coef = RGB2YCC.astype(int)
+    bias = 1 << (COLOR_SHIFT - 1)
+    for _ in m.loop(wl["n"]):
+        r = m.load_u8(pin, 0)
+        g = m.load_u8(pin, 1)
+        b = m.load_u8(pin, 2)
+        for comp in range(3):
+            acc = m.mul(r, int(coef[comp][0]))
+            acc = m.add(acc, m.mul(g, int(coef[comp][1])))
+            acc = m.add(acc, m.mul(b, int(coef[comp][2])))
+            acc = m.sra(m.add(acc, bias), COLOR_SHIFT)
+            if comp:
+                acc = m.add(acc, 128)
+            m.store_u8(m.clamp(acc, 0, 255), pout, comp)
+        pin = m.add(pin, 3)
+        pout = m.add(pout, 3)
+
+
+def rgb_mmx(m, wl: Workload) -> None:
+    """Deinterleave, per-plane s16 dot products, reinterleave."""
+    group = m.width  # pixels per iteration
+    pin = m.li(wl["in"])
+    pout = m.li(wl["out"])
+    coef = RGB2YCC.astype(int)
+    lanes16 = m.width // 2
+    consts = [
+        [m.const(np.full(lanes16, int(coef[comp][c]), np.int16)) for c in range(3)]
+        for comp in range(3)
+    ]
+    bias = m.const(np.full(lanes16, 1 << (COLOR_SHIFT - 1), np.int16))
+    offset = m.const(np.full(lanes16, 128, np.int16))
+    for _ in m.loop(wl["n"] // group):
+        regs = [m.load(pin, s * m.width) for s in range(3)]
+        planes8 = [deinterleave3_mmx(m, regs, comp) for comp in range(3)]
+        out_halves: Dict[int, list] = {0: [], 1: [], 2: []}
+        for half in ("lo", "hi"):
+            unpack = m.unpack_u8_to_u16_lo if half == "lo" else m.unpack_u8_to_u16_hi
+            wide = [unpack(p) for p in planes8]
+            for comp in range(3):
+                acc = m.pmullw(wide[0], consts[comp][0])
+                acc = m.padd(acc, m.pmullw(wide[1], consts[comp][1]), "s16")
+                acc = m.padd(acc, m.pmullw(wide[2], consts[comp][2]), "s16")
+                acc = m.psra(m.padd(acc, bias, "s16"), COLOR_SHIFT, "s16")
+                if comp:
+                    acc = m.padd(acc, offset, "s16")
+                out_halves[comp].append(acc)
+        planes_out = [m.packus(out_halves[c][0], out_halves[c][1]) for c in range(3)]
+        for s, reg in enumerate(interleave3_mmx(m, planes_out)):
+            m.store(reg, pout, s * m.width)
+        pin = m.add(pin, 3 * group)
+        pout = m.add(pout, 3 * group)
+
+
+def rgb_vmmx(m, wl: Workload) -> None:
+    """Pixel-per-row strided loads + rank-1 colour MACs (see module doc)."""
+    m.setvl(16)
+    two_px = m.row_bytes == 16
+    px_per_row = 2 if two_px else 1
+    group = 16 * px_per_row
+    row_stride = 3 * px_per_row
+    lanes = m.row_bytes // 2
+    # K[c, :] holds the (Y, Cb, Cr) contribution pattern of input lane c.
+    k_rows = np.zeros((3 * px_per_row, lanes), dtype=np.int16)
+    offsets = np.zeros(lanes, dtype=np.int16)
+    for px in range(px_per_row):
+        for c in range(3):
+            k_rows[3 * px + c, 3 * px : 3 * px + 3] = RGB2YCC[:, c]
+        offsets[3 * px + 1] = 128
+        offsets[3 * px + 2] = 128
+    k_reg = m.vconst_rows(k_rows)
+    off_reg = m.vconst_rows(np.tile(offsets, (16, 1)))
+    stride = m.li(row_stride)
+    pin = m.li(wl["in"])
+    pout = m.li(wl["out"])
+    for _ in m.loop(wl["n"] // group):
+        if two_px:
+            data = m.vload_part(pin, row_stride, stride)
+        else:
+            data = m.vload(pin, stride)
+        wide = m.vunpack_u8_to_u16(data, "lo")
+        macc = m.macc_zero()
+        for c in range(3 * px_per_row):
+            macc = m.vmac_bcast(macc, wide, c, k_reg, c)
+        ycc = m.macc_pack_rs(macc, COLOR_SHIFT)
+        ycc = m.vadd(ycc, off_reg, "s16")
+        packed = m.vpack_u16_to_u8(ycc)
+        if two_px:
+            m.vstore_part(packed, pout, row_stride, stride)
+        else:
+            m.vstore(packed, pout, stride)
+        pin = m.add(pin, 3 * group)
+        pout = m.add(pout, 3 * group)
+
+
+RGB = KernelSpec(
+    name="rgb",
+    app="jpegenc",
+    description="RGB to YCC colour conversion",
+    data_size="RGB triads",
+    make_workload=_rgb_workload,
+    golden=_rgb_golden,
+    read_output=_rgb_read,
+    versions={
+        "scalar": rgb_scalar,
+        "mmx64": rgb_mmx,
+        "mmx128": rgb_mmx,
+        "vmmx64": rgb_vmmx,
+        "vmmx128": rgb_vmmx,
+    },
+    batch=RGB_PIXELS // 64,
+)
+
+
+# --------------------------------------------------------------------------
+# ycc: planar YCC -> planar RGB
+# --------------------------------------------------------------------------
+
+def _ycc_workload(mem, seed: int) -> Workload:
+    rng = np.random.default_rng(seed)
+    shape = (YCC_H, YCC_W)
+    y = rng.integers(0, 256, shape, dtype=np.uint8)
+    cb = rng.integers(48, 208, shape, dtype=np.uint8)
+    cr = rng.integers(48, 208, shape, dtype=np.uint8)
+    return {
+        "y": y, "cb": cb, "cr": cr,
+        "py": mem.alloc_array(y), "pcb": mem.alloc_array(cb), "pcr": mem.alloc_array(cr),
+        "pr": mem.alloc(y.size), "pg": mem.alloc(y.size), "pb": mem.alloc(y.size),
+    }
+
+
+def _ycc_golden(wl: Workload) -> dict:
+    out = ycc_to_rgb_golden(wl["y"], wl["cb"], wl["cr"])
+    return {k: v.reshape(YCC_H, YCC_W) for k, v in out.items()}
+
+
+def _ycc_read(mem, wl: Workload) -> dict:
+    n = YCC_H * YCC_W
+    return {
+        "r": mem.read(wl["pr"], n).reshape(YCC_H, YCC_W),
+        "g": mem.read(wl["pg"], n).reshape(YCC_H, YCC_W),
+        "b": mem.read(wl["pb"], n).reshape(YCC_H, YCC_W),
+    }
+
+
+def ycc_scalar(m, wl: Workload) -> None:
+    py, pcb, pcr = m.li(wl["py"]), m.li(wl["pcb"]), m.li(wl["pcr"])
+    pr, pg, pb = m.li(wl["pr"]), m.li(wl["pg"]), m.li(wl["pb"])
+    bias = 1 << (COLOR_SHIFT - 1)
+    for _ in m.loop(YCC_H * YCC_W):
+        y = m.load_u8(py, 0)
+        cb = m.sub(m.load_u8(pcb, 0), 128)
+        cr = m.sub(m.load_u8(pcr, 0), 128)
+        r = m.add(y, m.sra(m.add(m.mul(cr, YCC2RGB_CR_R), bias), COLOR_SHIFT))
+        gsum = m.add(m.mul(cb, YCC2RGB_CB_G), m.mul(cr, YCC2RGB_CR_G))
+        g = m.sub(y, m.sra(m.add(gsum, bias), COLOR_SHIFT))
+        b = m.add(y, m.sra(m.add(m.mul(cb, YCC2RGB_CB_B), bias), COLOR_SHIFT))
+        m.store_u8(m.clamp(r, 0, 255), pr, 0)
+        m.store_u8(m.clamp(g, 0, 255), pg, 0)
+        m.store_u8(m.clamp(b, 0, 255), pb, 0)
+        py, pcb, pcr = m.add(py, 1), m.add(pcb, 1), m.add(pcr, 1)
+        pr, pg, pb = m.add(pr, 1), m.add(pg, 1), m.add(pb, 1)
+
+
+def ycc_mmx(m, wl: Workload) -> None:
+    group = m.width
+    lanes16 = m.width // 2
+    py, pcb, pcr = m.li(wl["py"]), m.li(wl["pcb"]), m.li(wl["pcr"])
+    pr, pg, pb = m.li(wl["pr"]), m.li(wl["pg"]), m.li(wl["pb"])
+    c128 = m.const(np.full(lanes16, 128, np.int16))
+    bias = m.const(np.full(lanes16, 1 << (COLOR_SHIFT - 1), np.int16))
+    k_crr = m.const(np.full(lanes16, YCC2RGB_CR_R, np.int16))
+    k_cbg = m.const(np.full(lanes16, YCC2RGB_CB_G, np.int16))
+    k_crg = m.const(np.full(lanes16, YCC2RGB_CR_G, np.int16))
+    k_cbb = m.const(np.full(lanes16, YCC2RGB_CB_B, np.int16))
+    for _ in m.loop(YCC_H * YCC_W // group):
+        vy, vcb, vcr = m.load(py), m.load(pcb), m.load(pcr)
+        halves = {"r": [], "g": [], "b": []}
+        for half in ("lo", "hi"):
+            unpack = m.unpack_u8_to_u16_lo if half == "lo" else m.unpack_u8_to_u16_hi
+            y16 = unpack(vy)
+            cb16 = m.psub(unpack(vcb), c128, "s16")
+            cr16 = m.psub(unpack(vcr), c128, "s16")
+            r = m.padd(y16, m.psra(m.padd(m.pmullw(cr16, k_crr), bias, "s16"), COLOR_SHIFT, "s16"), "s16")
+            gsum = m.padd(m.pmullw(cb16, k_cbg), m.pmullw(cr16, k_crg), "s16")
+            g = m.psub(y16, m.psra(m.padd(gsum, bias, "s16"), COLOR_SHIFT, "s16"), "s16")
+            b = m.padd(y16, m.psra(m.padd(m.pmullw(cb16, k_cbb), bias, "s16"), COLOR_SHIFT, "s16"), "s16")
+            halves["r"].append(r)
+            halves["g"].append(g)
+            halves["b"].append(b)
+        m.store(m.packus(halves["r"][0], halves["r"][1]), pr)
+        m.store(m.packus(halves["g"][0], halves["g"][1]), pg)
+        m.store(m.packus(halves["b"][0], halves["b"][1]), pb)
+        py, pcb, pcr = m.add(py, group), m.add(pcb, group), m.add(pcr, group)
+        pr, pg, pb = m.add(pr, group), m.add(pg, group), m.add(pb, group)
+
+
+def ycc_vmmx(m, wl: Workload) -> None:
+    """Unit-stride slabs of 16 rows x row_bytes pixels, VL = 16."""
+    m.setvl(16)
+    group = 16 * m.row_bytes
+    lanes = m.row_bytes // 2
+    py, pcb, pcr = m.li(wl["py"]), m.li(wl["pcb"]), m.li(wl["pcr"])
+    pr, pg, pb = m.li(wl["pr"]), m.li(wl["pg"]), m.li(wl["pb"])
+    c128 = m.vconst_rows(np.full((16, lanes), 128, np.int16))
+    bias = m.vconst_rows(np.full((16, lanes), 1 << (COLOR_SHIFT - 1), np.int16))
+    k_crr = m.vconst_rows(np.full((16, lanes), YCC2RGB_CR_R, np.int16))
+    k_cbg = m.vconst_rows(np.full((16, lanes), YCC2RGB_CB_G, np.int16))
+    k_crg = m.vconst_rows(np.full((16, lanes), YCC2RGB_CR_G, np.int16))
+    k_cbb = m.vconst_rows(np.full((16, lanes), YCC2RGB_CB_B, np.int16))
+    for _ in m.loop(YCC_H * YCC_W // group):
+        vy, vcb, vcr = m.vload(py), m.vload(pcb), m.vload(pcr)
+        halves = {"r": [], "g": [], "b": []}
+        for half in ("lo", "hi"):
+            y16 = m.vunpack_u8_to_u16(vy, half)
+            cb16 = m.vsub(m.vunpack_u8_to_u16(vcb, half), c128, "s16")
+            cr16 = m.vsub(m.vunpack_u8_to_u16(vcr, half), c128, "s16")
+            r = m.vadd(y16, m.vshift(m.vadd(m.vmul_lo(cr16, k_crr), bias, "s16"), COLOR_SHIFT, "sra", "s16"), "s16")
+            gsum = m.vadd(m.vmul_lo(cb16, k_cbg), m.vmul_lo(cr16, k_crg), "s16")
+            g = m.vsub(y16, m.vshift(m.vadd(gsum, bias, "s16"), COLOR_SHIFT, "sra", "s16"), "s16")
+            b = m.vadd(y16, m.vshift(m.vadd(m.vmul_lo(cb16, k_cbb), bias, "s16"), COLOR_SHIFT, "sra", "s16"), "s16")
+            halves["r"].append(r)
+            halves["g"].append(g)
+            halves["b"].append(b)
+        m.vstore(m.vpack_u16_to_u8(halves["r"][0], halves["r"][1]), pr)
+        m.vstore(m.vpack_u16_to_u8(halves["g"][0], halves["g"][1]), pg)
+        m.vstore(m.vpack_u16_to_u8(halves["b"][0], halves["b"][1]), pb)
+        py, pcb, pcr = m.add(py, group), m.add(pcb, group), m.add(pcr, group)
+        pr, pg, pb = m.add(pr, group), m.add(pg, group), m.add(pb, group)
+
+
+YCC = KernelSpec(
+    name="ycc",
+    app="jpegdec",
+    description="YCC to RGB colour conversion",
+    data_size="(Y,Cb,Cr) x image width 8-bit",
+    make_workload=_ycc_workload,
+    golden=_ycc_golden,
+    read_output=_ycc_read,
+    versions={
+        "scalar": ycc_scalar,
+        "mmx64": ycc_mmx,
+        "mmx128": ycc_mmx,
+        "vmmx64": ycc_vmmx,
+        "vmmx128": ycc_vmmx,
+    },
+    batch=YCC_H,
+)

@@ -1,0 +1,256 @@
+"""Forward and inverse 8x8 DCT kernels (``fdct``, ``idct``).
+
+Both transforms share one fixed-point specification (see
+:mod:`repro.kernels.common`): two matrix products with a rounding shift
+after each, all intermediate products exact in 32 bits.  Every ISA version
+below computes the identical bit pattern:
+
+* scalar        -- register-blocked triple loop.
+* mmx64/mmx128  -- the classic row pass / transpose / row pass structure
+  using the ``pmaddwd`` pair-dot idiom with pair-interleaved coefficient
+  tables in memory; transposes are in-register unpack trees.
+* vmmx64/vmmx128 -- the paper's matrix formulation (§IV-A): the whole
+  block and both coefficient matrices live in matrix registers; each pass
+  is eight ``vmac`` rank-1 updates into a packed accumulator, and the
+  coefficients stay in registers across every block of the batch ("the
+  use of vector registers as a cache ... saves a lot of redundant load
+  operations").
+
+The inverse transform computes ``X = RS(C^T . RS(Y . C))``; the forward
+computes ``Y = RS(C . RS(X . C^T))``.  In the MMX row formulation both
+passes multiply rows by a single constant matrix ``B`` (``B = C`` for
+idct, ``B = C^T`` for fdct) with a transpose between and after.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.kernels.base import KernelSpec, Workload
+from repro.kernels.common import (
+    DCT_SHIFT,
+    dct_matrix,
+    fdct_golden,
+    idct_golden,
+    mmx_row_times_matrix,
+    pair_interleaved,
+    transpose8x8_s16_mmx64,
+    transpose8x8_s16_mmx128,
+)
+
+N_BLOCKS = 12
+ROW_BYTES = 16  # 8 lanes of s16
+
+
+def _make_workload_for(kind: str):
+    def make(mem, seed: int) -> Workload:
+        rng = np.random.default_rng(seed)
+        if kind == "idct":
+            # Dequantised coefficient statistics: large DC, decaying AC.
+            blocks = []
+            for _ in range(N_BLOCKS):
+                block = rng.integers(-40, 41, (8, 8)) * (1 + rng.integers(0, 4, (8, 8)))
+                block[0, 0] = rng.integers(-1024, 1025)
+                blocks.append(block.astype(np.int16))
+        else:
+            # Level-shifted pixel blocks.
+            blocks = [
+                rng.integers(-256, 256, (8, 8)).astype(np.int16)
+                for _ in range(N_BLOCKS)
+            ]
+        in_addrs = [mem.alloc_array(b) for b in blocks]
+        out_addrs = [mem.alloc(8 * ROW_BYTES) for _ in blocks]
+        matrix = dct_matrix()
+        b_matrix = matrix if kind == "idct" else matrix.T.copy()
+        pair_table = pair_interleaved(b_matrix)
+        return {
+            "kind": kind,
+            "blocks": blocks,
+            "in_addrs": in_addrs,
+            "out_addrs": out_addrs,
+            "c_addr": mem.alloc_array(matrix),
+            "ct_addr": mem.alloc_array(matrix.T.copy()),
+            "pair_addr": mem.alloc_array(pair_table),
+        }
+
+    return make
+
+
+def _golden_for(kind: str):
+    fn = idct_golden if kind == "idct" else fdct_golden
+
+    def golden(wl: Workload) -> List[np.ndarray]:
+        return [fn(b) for b in wl["blocks"]]
+
+    return golden
+
+
+def _read_output(mem, wl: Workload) -> List[np.ndarray]:
+    return [
+        mem.read_rows(addr, 8, ROW_BYTES, ROW_BYTES).view(np.int16)
+        for addr in wl["out_addrs"]
+    ]
+
+
+# --------------------------------------------------------------------------
+# scalar
+# --------------------------------------------------------------------------
+
+def dct_scalar(m, wl: Workload) -> None:
+    """Register-blocked triple loop; coefficients hoisted per batch."""
+    matrix = dct_matrix().astype(int)
+    kind = wl["kind"]
+    # Hoist the 64 coefficients into registers once per batch.
+    c_base = m.li(wl["c_addr"])
+    coef = [[m.load_s16(c_base, 2 * (8 * r + c)) for c in range(8)] for r in range(8)]
+    bias = 1 << (DCT_SHIFT - 1)
+    for addr_in, addr_out in zip(wl["in_addrs"], wl["out_addrs"]):
+        pin = m.li(addr_in)
+        pout = m.li(addr_out)
+        # Pass 1: T = RS(data . B) rows; pass 2 uses B again on T^T.
+        temp = [[None] * 8 for _ in range(8)]
+        for i in range(8):
+            row = [m.load_s16(pin, 2 * (8 * i + k)) for k in range(8)]
+            for j in range(8):
+                acc = None
+                for k in range(8):
+                    b_kj = coef[k][j] if kind == "idct" else coef[j][k]
+                    prod = m.mul(row[k], b_kj)
+                    acc = prod if acc is None else m.add(acc, prod)
+                acc = m.sra(m.add(acc, bias), DCT_SHIFT)
+                temp[i][j] = acc
+        for i in range(8):
+            for j in range(8):
+                acc = None
+                for k in range(8):
+                    b_ki = coef[k][i] if kind == "idct" else coef[i][k]
+                    prod = m.mul(temp[k][j], b_ki)
+                    acc = prod if acc is None else m.add(acc, prod)
+                acc = m.sra(m.add(acc, bias), DCT_SHIFT)
+                m.store_s16(m.clamp(acc, -32768, 32767), pout, 2 * (8 * i + j))
+
+
+# --------------------------------------------------------------------------
+# mmx64 / mmx128
+# --------------------------------------------------------------------------
+
+def dct_mmx(m, wl: Workload) -> None:
+    """Row pass / transpose / row pass / transpose, pmaddwd pair-dots."""
+    regs_per_row = 16 // m.width
+    n_groups = 8 // (m.width // 4)
+    group_bytes = (m.width // 4) * 4
+    # Hoist coefficient pair registers and rounding bias once per batch.
+    pair_base = m.li(wl["pair_addr"])
+    pair_regs = [
+        [m.load(pair_base, p * 32 + g * group_bytes) for g in range(n_groups)]
+        for p in range(4)
+    ]
+    bias = m.const(np.full(m.width // 4, 1 << (DCT_SHIFT - 1), dtype=np.int32), "s32")
+
+    def row_pass(rows):
+        out = []
+        for row_regs in rows:
+            out.append(mmx_row_times_matrix(m, row_regs, pair_regs, DCT_SHIFT, bias))
+        return out
+
+    def transpose(rows):
+        if m.width == 16:
+            flat = [r[0] for r in rows]
+            return [[r] for r in transpose8x8_s16_mmx128(m, flat)]
+        los = [r[0] for r in rows]
+        his = [r[1] for r in rows]
+        new_los, new_his = transpose8x8_s16_mmx64(m, los, his)
+        return [[lo, hi] for lo, hi in zip(new_los, new_his)]
+
+    for addr_in, addr_out in zip(wl["in_addrs"], wl["out_addrs"]):
+        pin = m.li(addr_in)
+        pout = m.li(addr_out)
+        rows = [
+            [m.load(pin, ROW_BYTES * i + part * m.width) for part in range(regs_per_row)]
+            for i in range(8)
+        ]
+        t_rows = transpose(row_pass(rows))
+        out_rows = transpose(row_pass(t_rows))
+        for i, row_regs in enumerate(out_rows):
+            for part, reg in enumerate(row_regs):
+                m.store(reg, pout, ROW_BYTES * i + part * m.width)
+
+
+# --------------------------------------------------------------------------
+# vmmx64 / vmmx128
+# --------------------------------------------------------------------------
+
+def dct_vmmx(m, wl: Workload) -> None:
+    """Whole-block matrix products with coefficients cached in registers."""
+    kind = wl["kind"]
+    m.setvl(8)
+    halves = 16 // m.row_bytes
+    half_stride = m.li(ROW_BYTES)
+
+    def load_matrix(addr: int):
+        base = m.li(addr)
+        if halves == 1:
+            return [m.vload(base)]
+        return [m.vload(base, half_stride, part * m.row_bytes) for part in range(halves)]
+
+    c_regs = load_matrix(wl["c_addr"])
+    ct_regs = load_matrix(wl["ct_addr"])
+    pass1_b = c_regs if kind == "idct" else ct_regs
+    pass2_a = ct_regs if kind == "idct" else c_regs
+    lanes = m.row_bytes // 2
+
+    def matmul(a_regs, b_regs):
+        """Rank-1 vmac chain: returns packed halves of RS(A . B)."""
+        out = []
+        for half in range(halves):
+            macc = m.macc_zero()
+            for k in range(8):
+                a_src = a_regs[k // lanes]
+                macc = m.vmac_bcast(macc, a_src, k % lanes, b_regs[half], k)
+            out.append(m.macc_pack_rs(macc, DCT_SHIFT))
+        return out
+
+    for addr_in, addr_out in zip(wl["in_addrs"], wl["out_addrs"]):
+        pin = m.li(addr_in)
+        data = (
+            [m.vload(pin)]
+            if halves == 1
+            else [m.vload(pin, half_stride, part * m.row_bytes) for part in range(halves)]
+        )
+        t_regs = matmul(data, pass1_b)
+        x_regs = matmul(pass2_a, t_regs)
+        pout = m.li(addr_out)
+        if halves == 1:
+            m.vstore(x_regs[0], pout)
+        else:
+            for part, reg in enumerate(x_regs):
+                m.vstore(reg, pout, half_stride, part * m.row_bytes)
+
+
+def _make_spec(kind: str, app: str) -> KernelSpec:
+    return KernelSpec(
+        name=kind,
+        app=app,
+        description=(
+            "Inverse Discrete Cosine Transform" if kind == "idct"
+            else "Forward Discrete Cosine Transform"
+        ),
+        data_size="8x8 16-bit",
+        make_workload=_make_workload_for(kind),
+        golden=_golden_for(kind),
+        read_output=_read_output,
+        versions={
+            "scalar": dct_scalar,
+            "mmx64": dct_mmx,
+            "mmx128": dct_mmx,
+            "vmmx64": dct_vmmx,
+            "vmmx128": dct_vmmx,
+        },
+        batch=N_BLOCKS,
+    )
+
+
+IDCT = _make_spec("idct", "mpeg2dec")
+FDCT = _make_spec("fdct", "jpegenc")

@@ -1,0 +1,263 @@
+"""GSM 06.10 kernels: ``ltppar`` (encoder) and ``ltpfilt`` (decoder).
+
+``ltppar`` is the long-term-predictor parameter search: the
+cross-correlation of the current 40-sample residual segment against an
+81-lag window of the 120-sample reconstructed history, returning the lag
+with the maximum correlation.  The paper notes (§IV-A) that these short
+segments (40 and 120 16-bit samples) limit the exploitable parallelism:
+going from VMMX64 to VMMX128 merely halves the *rows* per instruction
+(VL 10 -> 5) without removing any instructions, which is exactly why the
+paper measures almost no speed-up between the two matrix widths here.
+
+``ltpfilt`` is the decoder-side long-term synthesis: 120 samples of
+``out[k] = sat16(erp[k] + mult_r(bc, dp[k]))`` with the quantised LTP
+gain ``bc`` (Q15).
+
+Correlation inputs are residual-scaled (|x| < 2048) so all dot products
+are exact in 32 bits, mirroring the scaling step of the real codec.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.isa import subword as sw
+from repro.kernels.base import KernelSpec, Workload
+from repro.kernels.common import mult_r
+
+SEG = 40          # current segment length
+HIST = 120        # reconstructed history window
+LAG_MIN, LAG_MAX = 40, 120
+N_SEARCHES = 4
+N_FILTERS = 8
+
+#: GSM 06.10 quantised LTP gain levels (Q15).
+QLB = (3277, 11469, 21299, 32767)
+
+
+# --------------------------------------------------------------------------
+# ltppar
+# --------------------------------------------------------------------------
+
+def _ltppar_workload(mem, seed: int) -> Workload:
+    rng = np.random.default_rng(seed)
+    searches = []
+    for _ in range(N_SEARCHES):
+        d = rng.integers(-2048, 2048, SEG).astype(np.int16)
+        prev = rng.integers(-2048, 2048, HIST).astype(np.int16)
+        # Plant a correlated echo so the search finds realistic peaks.
+        lag = int(rng.integers(LAG_MIN, LAG_MAX + 1))
+        start = HIST - lag
+        prev[start : start + SEG] = np.clip(
+            d.astype(np.int32) // 2 + prev[start : start + SEG] // 2, -2048, 2047
+        ).astype(np.int16)
+        searches.append({"d": d, "prev": prev, "pd": mem.alloc_array(d), "pp": mem.alloc_array(prev)})
+    return {"searches": searches}
+
+
+def golden_ltppar_one(d: np.ndarray, prev: np.ndarray) -> Tuple[int, int]:
+    """Exact argmax cross-correlation: (best_lag, best_value)."""
+    best_lag, best_val = LAG_MIN, None
+    for lag in range(LAG_MIN, LAG_MAX + 1):
+        start = HIST - lag
+        window = prev[start : start + SEG].astype(np.int64)
+        val = int((d.astype(np.int64) * window).sum())
+        if best_val is None or val > best_val:
+            best_lag, best_val = lag, val
+    return best_lag, best_val
+
+
+def _ltppar_golden(wl: Workload) -> List[Tuple[int, int]]:
+    return [golden_ltppar_one(s["d"], s["prev"]) for s in wl["searches"]]
+
+
+def ltppar_scalar(m, wl: Workload) -> List[Tuple[int, int]]:
+    results = []
+    for search in wl["searches"]:
+        pd = m.li(search["pd"])
+        pp = m.li(search["pp"])
+        d_regs = [m.load_s16(pd, 2 * k) for k in range(SEG)]
+        best_val = None
+        best_lag = LAG_MIN
+        for lag_i in m.loop(LAG_MAX - LAG_MIN + 1):
+            lag = LAG_MIN + lag_i
+            start = HIST - lag
+            acc = None
+            for k in range(SEG):
+                prod = m.mul(d_regs[k], m.load_s16(pp, 2 * (start + k)))
+                acc = prod if acc is None else m.add(acc, prod)
+            take = best_val is None or int(acc) > int(best_val)
+            m.branch(take, acc)
+            if take:
+                best_val = m.max_(acc, acc if best_val is None else best_val)
+                best_lag = lag
+        results.append((best_lag, int(best_val)))
+    return results
+
+
+def ltppar_mmx(m, wl: Workload) -> List[Tuple[int, int]]:
+    lanes = m.width // 2
+    n_regs = SEG // lanes
+    results = []
+    for search in wl["searches"]:
+        pd = m.li(search["pd"])
+        pp = m.li(search["pp"])
+        d_regs = [m.load(pd, m.width * i) for i in range(n_regs)]
+        best_val = None
+        best_lag = LAG_MIN
+        for lag_i in m.loop(LAG_MAX - LAG_MIN + 1):
+            lag = LAG_MIN + lag_i
+            start = HIST - lag
+            acc = None
+            for i in range(n_regs):
+                win = m.load(pp, 2 * start + m.width * i)
+                prod = m.pmaddwd(d_regs[i], win)
+                acc = prod if acc is None else m.padd(acc, prod, "s32")
+            total = m.movd_to_scalar(m.hsum_s32(acc), "s32", 0)
+            take = best_val is None or int(total) > int(best_val)
+            m.branch(take, total)
+            if take:
+                best_val = m.max_(total, total if best_val is None else best_val)
+                best_lag = lag
+        results.append((best_lag, int(best_val)))
+    return results
+
+
+def ltppar_vmmx(m, wl: Workload) -> List[Tuple[int, int]]:
+    rows = SEG * 2 // m.row_bytes  # VL = 10 (VMMX64) or 5 (VMMX128)
+    m.setvl(rows)
+    results = []
+    for search in wl["searches"]:
+        d_reg = m.vload(m.li(search["pd"]))
+        pp = m.li(search["pp"])
+        best_val = None
+        best_lag = LAG_MIN
+        for lag_i in m.loop(LAG_MAX - LAG_MIN + 1):
+            lag = LAG_MIN + lag_i
+            start = HIST - lag
+            win = m.vload(pp, offset=2 * start)
+            acc = m.vdot_acc(m.acc_zero(), d_reg, win, "s16")
+            total = m.acc_read(acc)
+            take = best_val is None or int(total) > int(best_val)
+            m.branch(take, total)
+            if take:
+                best_val = m.max_(total, total if best_val is None else best_val)
+                best_lag = lag
+        results.append((best_lag, int(best_val)))
+    return results
+
+
+LTPPAR = KernelSpec(
+    name="ltppar",
+    app="gsmenc",
+    description="LTP parameter calculation (lag search)",
+    data_size="40 16-bit",
+    make_workload=_ltppar_workload,
+    golden=_ltppar_golden,
+    read_output=lambda mem, wl: None,
+    versions={
+        "scalar": ltppar_scalar,
+        "mmx64": ltppar_mmx,
+        "mmx128": ltppar_mmx,
+        "vmmx64": ltppar_vmmx,
+        "vmmx128": ltppar_vmmx,
+    },
+    returns_scalar=True,
+    batch=N_SEARCHES,
+)
+
+
+# --------------------------------------------------------------------------
+# ltpfilt
+# --------------------------------------------------------------------------
+
+def _ltpfilt_workload(mem, seed: int) -> Workload:
+    rng = np.random.default_rng(seed)
+    filters = []
+    for i in range(N_FILTERS):
+        erp = rng.integers(-8192, 8192, HIST).astype(np.int16)
+        dp = rng.integers(-16384, 16384, HIST).astype(np.int16)
+        bc = QLB[i % 4]
+        filters.append(
+            {
+                "erp": erp, "dp": dp, "bc": bc,
+                "pe": mem.alloc_array(erp), "pdp": mem.alloc_array(dp),
+                "po": mem.alloc(HIST * 2),
+            }
+        )
+    return {"filters": filters}
+
+
+def golden_ltpfilt_one(erp: np.ndarray, dp: np.ndarray, bc: int) -> np.ndarray:
+    scaled = mult_r(dp, bc).astype(np.int64)
+    return sw.saturate(erp.astype(np.int64) + scaled, "s16")
+
+
+def _ltpfilt_golden(wl: Workload) -> List[np.ndarray]:
+    return [golden_ltpfilt_one(f["erp"], f["dp"], f["bc"]) for f in wl["filters"]]
+
+
+def _ltpfilt_read(mem, wl: Workload) -> List[np.ndarray]:
+    return [mem.read(f["po"], HIST * 2).view(np.int16) for f in wl["filters"]]
+
+
+def ltpfilt_scalar(m, wl: Workload) -> None:
+    for f in wl["filters"]:
+        pe, pdp, po = m.li(f["pe"]), m.li(f["pdp"]), m.li(f["po"])
+        bc = m.li(f["bc"])
+        for k in m.loop(HIST):
+            dpv = m.load_s16(pdp, 2 * k)
+            scaled = m.sra(m.add(m.mul(dpv, bc), 1 << 14), 15)
+            scaled = m.clamp(scaled, -32768, 32767)
+            total = m.clamp(m.add(m.load_s16(pe, 2 * k), scaled), -32768, 32767)
+            m.store_s16(total, po, 2 * k)
+
+
+def ltpfilt_mmx(m, wl: Workload) -> None:
+    lanes = m.width // 2
+    for f in wl["filters"]:
+        pe, pdp, po = m.li(f["pe"]), m.li(f["pdp"]), m.li(f["po"])
+        gain = m.movd_from_scalar(m.li(f["bc"]), "s16")
+        for g in m.loop(HIST // lanes):
+            off = 0  # group base folded into the pointers below
+            dp = m.load(pdp, off)
+            scaled = m.pmulr_q15(dp, gain)
+            total = m.padd(m.load(pe, off), scaled, "s16", sat=True)
+            m.store(total, po, off)
+            pe, pdp, po = m.add(pe, m.width), m.add(pdp, m.width), m.add(po, m.width)
+
+
+def ltpfilt_vmmx(m, wl: Workload) -> None:
+    rows = 15
+    m.setvl(rows)
+    chunk = rows * m.row_bytes
+    passes = HIST * 2 // chunk  # 2 for VMMX64, 1 for VMMX128
+    for f in wl["filters"]:
+        pe, pdp, po = m.li(f["pe"]), m.li(f["pdp"]), m.li(f["po"])
+        bc = m.li(f["bc"])
+        for p in range(passes):
+            dp = m.vload(pdp, offset=p * chunk)
+            scaled = m.vmul_round_q15(dp, bc)
+            total = m.vadd(m.vload(pe, offset=p * chunk), scaled, "s16", sat=True)
+            m.vstore(total, po, offset=p * chunk)
+
+
+LTPFILT = KernelSpec(
+    name="ltpfilt",
+    app="gsmdec",
+    description="Long-term synthesis filtering",
+    data_size="120 16-bit",
+    make_workload=_ltpfilt_workload,
+    golden=_ltpfilt_golden,
+    read_output=_ltpfilt_read,
+    versions={
+        "scalar": ltpfilt_scalar,
+        "mmx64": ltpfilt_mmx,
+        "mmx128": ltpfilt_mmx,
+        "vmmx64": ltpfilt_vmmx,
+        "vmmx128": ltpfilt_vmmx,
+    },
+    batch=N_FILTERS,
+)

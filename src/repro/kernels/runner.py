@@ -1,0 +1,67 @@
+"""High-level one-call kernel API: emulate, verify, time.
+
+    from repro import run_kernel
+    result = run_kernel("motion1", isa="vmmx128", way=2)
+    print(result.cycles, result.speedup_vs(run_kernel("motion1", "mmx64", 2)))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.trace import Trace
+from repro.timing.core import SimResult
+from repro.timing.simulator import simulate_kernel
+
+
+@dataclass
+class KernelResult:
+    """Everything about one kernel on one machine."""
+
+    kernel: str
+    isa: str
+    way: int
+    trace: Trace
+    sim: SimResult
+    batch: int
+
+    @property
+    def cycles(self) -> int:
+        return self.sim.cycles
+
+    @property
+    def cycles_per_invocation(self) -> float:
+        return self.sim.cycles / self.batch
+
+    @property
+    def instructions(self) -> int:
+        return self.sim.instructions
+
+    @property
+    def ipc(self) -> float:
+        return self.sim.ipc
+
+    def speedup_vs(self, baseline: "KernelResult") -> float:
+        """Speed-up of *this* result relative to ``baseline``."""
+        return baseline.cycles / self.cycles
+
+
+def run_kernel(kernel: str, isa: str = "vmmx128", way: int = 2, seed: int = 0) -> KernelResult:
+    """Emulate ``kernel`` in ``isa`` form, verify it, and time it.
+
+    Raises ``KeyError`` for unknown kernels/configurations and
+    ``AssertionError`` if the version fails its golden check.
+    """
+    from repro.kernels.base import execute
+    from repro.kernels.registry import KERNELS
+
+    timing = simulate_kernel(kernel, isa, way, seed=seed)
+    run = execute(KERNELS[kernel], isa, seed=seed)
+    return KernelResult(
+        kernel=kernel,
+        isa=isa,
+        way=way,
+        trace=run.trace,
+        sim=timing.result,
+        batch=timing.batch,
+    )

@@ -1,0 +1,23 @@
+"""Trace-driven timing model of the paper's simulated processors."""
+
+from repro.timing.caches import BimodalPredictor, Cache, MemoryHierarchy
+from repro.timing.config import (
+    CONFIGS,
+    ISAS,
+    MEM_CONFIGS,
+    WAYS,
+    CoreConfig,
+    MemHierConfig,
+    get_config,
+    get_mem_config,
+    with_overrides,
+)
+from repro.timing.core import CoreModel, SimResult
+from repro.timing.simulator import simulate_kernel, simulate_trace
+
+__all__ = [
+    "BimodalPredictor", "CONFIGS", "Cache", "CoreConfig", "CoreModel",
+    "ISAS", "MEM_CONFIGS", "MemHierConfig", "MemoryHierarchy", "SimResult",
+    "WAYS", "get_config", "get_mem_config", "simulate_kernel",
+    "simulate_trace", "with_overrides",
+]

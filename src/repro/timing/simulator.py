@@ -1,0 +1,80 @@
+"""High-level simulation drivers with result caching.
+
+``simulate_kernel`` is the workhorse of the experiment harness: it runs a
+kernel version through the emulation machine to obtain its dynamic trace,
+then times that trace on a processor configuration.  Results are memoised
+because the application-level experiments re-use kernel timings heavily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+from repro.isa.trace import Trace
+from repro.timing.config import CoreConfig, MemHierConfig, get_config
+from repro.timing.core import CoreModel, SimResult
+
+
+def simulate_trace(
+    trace: Trace,
+    config: CoreConfig,
+    mem_config: Optional[MemHierConfig] = None,
+    warm: bool = True,
+) -> SimResult:
+    """Time one dynamic trace on one processor configuration.
+
+    ``warm`` pre-touches the caches with the trace footprint so results
+    reflect the steady state (the regime the paper's full-application
+    simulations measure kernels in).
+    """
+    model = CoreModel(config, mem_config)
+    if warm:
+        model.hier.warm(trace)
+    return model.run(trace)
+
+
+@dataclass
+class KernelTiming:
+    """Cycles and instruction statistics for one kernel invocation batch."""
+
+    kernel: str
+    version: str
+    way: int
+    result: SimResult
+    batch: int
+
+    @property
+    def cycles_per_invocation(self) -> float:
+        return self.result.cycles / self.batch
+
+    @property
+    def instructions_per_invocation(self) -> float:
+        return self.result.instructions / self.batch
+
+
+@lru_cache(maxsize=None)
+def simulate_kernel(
+    kernel: str, version: str, way: int, seed: int = 0
+) -> KernelTiming:
+    """Run ``kernel``'s ``version`` and time it on the ``way``-wide core.
+
+    The baseline ISA of a configuration is given by ``version`` (the
+    paper couples ISA version and hardware: an mmx128 binary runs on the
+    mmx128 machine of that width).
+    """
+    from repro.kernels.base import execute
+    from repro.kernels.registry import KERNELS
+
+    spec = KERNELS[kernel]
+    run = execute(spec, version, seed=seed)
+    if not run.correct:
+        raise AssertionError(
+            f"kernel {kernel}/{version} failed verification during timing"
+        )
+    config = get_config(version, way)
+    result = simulate_trace(run.trace, config)
+    return KernelTiming(
+        kernel=kernel, version=version, way=way, result=result, batch=spec.batch
+    )

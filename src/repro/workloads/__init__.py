@@ -1,0 +1,5 @@
+"""Synthetic media workload generators (Mediabench data substitutes)."""
+
+from repro.workloads.media import speech_signal, test_image, video_clip
+
+__all__ = ["speech_signal", "test_image", "video_clip"]

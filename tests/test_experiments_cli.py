@@ -1,0 +1,64 @@
+"""Tests for the experiments CLI and render output details."""
+
+import pytest
+
+from repro.experiments import (
+    fig4_render,
+    fig5_render,
+    fig6_render,
+    fig7_render,
+    table1_render,
+    table3_render,
+)
+from repro.experiments.__main__ import main as experiments_main
+
+
+class TestExperimentsCli:
+    def test_single_artifact(self, capsys):
+        assert experiments_main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "motion1" in out
+
+    def test_multiple_artifacts(self, capsys):
+        assert experiments_main(["table3", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out and "Table IV" in out
+
+    def test_unknown_artifact(self, capsys):
+        assert experiments_main(["fig99"]) == 1
+        assert "unknown" in capsys.readouterr().out
+
+
+class TestRenderDetails:
+    def test_table1_shows_paper_columns(self):
+        text = table1_render()
+        assert "area(paper)" in text
+        assert "10.29" in text  # paper's 8-way mmx128 ratio
+
+    def test_table3_shows_lane_notation(self):
+        text = table3_render()
+        assert "1x4/2x4/3x4" in text
+
+    def test_fig4_flags_fdct_as_extra(self):
+        text = fig4_render()
+        assert "fdct [extra]" in text
+        assert "vmmx128:4.1" in text  # paper reference for idct
+
+    def test_fig5_has_average_panel(self):
+        text = fig5_render()
+        assert "average" in text
+
+    def test_fig6_quotes_paper_claims(self):
+        text = fig6_render()
+        assert "paper: 85%" in text
+        assert "paper: 2.7%" in text
+
+    def test_fig6_other_apps(self):
+        text = fig6_render("gsmdec")
+        assert "gsmdec" in text
+
+    def test_fig7_quotes_reduction_claims(self):
+        text = fig7_render()
+        assert "~30% fewer" in text
+        assert "~15% fewer" in text

@@ -1,0 +1,128 @@
+"""Tests for the shared MMX macro helpers in kernels/common.py."""
+
+import numpy as np
+import pytest
+
+from repro.emu import Memory, make_machine
+from repro.kernels.common import (
+    dct_matrix,
+    deinterleave3_mmx,
+    interleave3_mmx,
+    mmx_row_times_matrix,
+    pair_interleaved,
+    transpose4x4_s16,
+    transpose8x8_s16_mmx64,
+    transpose8x8_s16_mmx128,
+)
+
+
+def mmx(width_name):
+    return make_machine(width_name, Memory())
+
+
+class TestTranspose:
+    def test_4x4(self):
+        m = mmx("mmx64")
+        tile = np.arange(16, dtype=np.int16).reshape(4, 4)
+        rows = [m.const(tile[i]) for i in range(4)]
+        cols = transpose4x4_s16(m, rows)
+        got = np.stack([c.view(np.int16) for c in cols])
+        assert np.array_equal(got, tile.T)
+
+    def test_8x8_mmx64(self):
+        m = mmx("mmx64")
+        mat = np.arange(64, dtype=np.int16).reshape(8, 8)
+        los = [m.const(mat[i, :4]) for i in range(8)]
+        his = [m.const(mat[i, 4:]) for i in range(8)]
+        new_los, new_his = transpose8x8_s16_mmx64(m, los, his)
+        got = np.hstack(
+            [
+                np.stack([r.view(np.int16) for r in new_los]),
+                np.stack([r.view(np.int16) for r in new_his]),
+            ]
+        )
+        assert np.array_equal(got, mat.T)
+
+    def test_8x8_mmx128(self):
+        m = mmx("mmx128")
+        mat = np.arange(64, dtype=np.int16).reshape(8, 8)
+        rows = [m.const(mat[i]) for i in range(8)]
+        out = transpose8x8_s16_mmx128(m, rows)
+        got = np.stack([r.view(np.int16) for r in out])
+        assert np.array_equal(got, mat.T)
+
+    def test_double_transpose_is_identity(self):
+        m = mmx("mmx128")
+        rng = np.random.default_rng(0)
+        mat = rng.integers(-1000, 1000, (8, 8)).astype(np.int16)
+        rows = [m.const(mat[i]) for i in range(8)]
+        twice = transpose8x8_s16_mmx128(m, transpose8x8_s16_mmx128(m, rows))
+        got = np.stack([r.view(np.int16) for r in twice])
+        assert np.array_equal(got, mat)
+
+    def test_8x8_mmx128_costs_24_unpacks(self):
+        m = mmx("mmx128")
+        rows = [m.const(np.zeros(8, np.int16)) for _ in range(8)]
+        before = len(m.trace)
+        transpose8x8_s16_mmx128(m, rows)
+        assert len(m.trace) - before == 24
+
+
+class TestInterleave3:
+    @pytest.mark.parametrize("isa", ["mmx64", "mmx128"])
+    def test_deinterleave_extracts_planes(self, isa):
+        m = mmx(isa)
+        px = m.width
+        rng = np.random.default_rng(1)
+        triads = rng.integers(0, 256, (px, 3)).astype(np.uint8)
+        addr = m.mem.alloc_array(triads.reshape(-1))
+        regs = [m.load(m.li(addr), s * m.width) for s in range(3)]
+        for comp in range(3):
+            plane = deinterleave3_mmx(m, regs, comp)
+            assert np.array_equal(plane.view(np.uint8), triads[:, comp])
+
+    @pytest.mark.parametrize("isa", ["mmx64", "mmx128"])
+    def test_interleave_is_inverse(self, isa):
+        m = mmx(isa)
+        px = m.width
+        rng = np.random.default_rng(2)
+        triads = rng.integers(0, 256, (px, 3)).astype(np.uint8)
+        addr = m.mem.alloc_array(triads.reshape(-1))
+        regs = [m.load(m.li(addr), s * m.width) for s in range(3)]
+        planes = [deinterleave3_mmx(m, regs, c) for c in range(3)]
+        out_regs = interleave3_mmx(m, planes)
+        merged = np.concatenate([r.view(np.uint8) for r in out_regs])
+        assert np.array_equal(merged, triads.reshape(-1))
+
+    def test_deinterleave_costs_five_ops(self):
+        m = mmx("mmx64")
+        regs = [m.zero() for _ in range(3)]
+        before = len(m.trace)
+        deinterleave3_mmx(m, regs, 0)
+        assert len(m.trace) - before == 5
+
+
+class TestRowTimesMatrix:
+    @pytest.mark.parametrize("isa", ["mmx64", "mmx128"])
+    def test_matches_numpy(self, isa):
+        m = mmx(isa)
+        rng = np.random.default_rng(3)
+        row = rng.integers(-300, 300, 8).astype(np.int16)
+        matrix = dct_matrix()
+        table = pair_interleaved(matrix)
+        addr = m.mem.alloc_array(table)
+        n_groups = 8 // (m.width // 4)
+        group_bytes = (m.width // 4) * 4
+        pair_regs = [
+            [m.load(m.li(addr), p * 32 + g * group_bytes) for g in range(n_groups)]
+            for p in range(4)
+        ]
+        bias = m.const(np.full(m.width // 4, 1 << 6, np.int32), "s32")
+        if m.width == 8:
+            row_regs = [m.const(row[:4]), m.const(row[4:])]
+        else:
+            row_regs = [m.const(row)]
+        packed = mmx_row_times_matrix(m, row_regs, pair_regs, 7, bias)
+        got = np.concatenate([p.view(np.int16) for p in packed])
+        expect = (row.astype(np.int64) @ matrix.astype(np.int64) + 64) >> 7
+        assert np.array_equal(got.astype(np.int64), expect)

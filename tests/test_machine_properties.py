@@ -1,0 +1,123 @@
+"""Property-based tests across the emulation machines.
+
+Hypothesis drives random payloads through load/compute/store round trips
+on every machine; the invariants here (memory transparency, algebraic
+identities of the packed ops, trace/value consistency) must hold for any
+input, not just the kernel workloads.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emu import Memory, make_machine
+
+bytes_strategy = st.lists(st.integers(0, 255), min_size=16, max_size=16)
+
+
+class TestMmxRoundTrips:
+    @pytest.mark.parametrize("isa", ["mmx64", "mmx128"])
+    @given(data=bytes_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_load_store_is_identity(self, isa, data):
+        m = make_machine(isa, Memory())
+        payload = np.array(data[: m.width], np.uint8)
+        addr = m.mem.alloc_array(payload)
+        out = m.mem.alloc(m.width)
+        m.store(m.load(m.li(addr)), m.li(out))
+        assert np.array_equal(m.mem.read(out, m.width), payload)
+
+    @given(data=bytes_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_unpack_pack_loses_nothing_in_range(self, data):
+        m = make_machine("mmx64", Memory())
+        payload = np.array(data[:8], np.uint8)
+        v = m.const(payload, "u8")
+        lo = m.unpack_u8_to_u16_lo(v)
+        hi = m.unpack_u8_to_u16_hi(v)
+        packed = m.packus(lo, hi)
+        assert np.array_equal(packed.view(np.uint8), payload)
+
+    @given(
+        a=st.lists(st.integers(-32768, 32767), min_size=4, max_size=4),
+        b=st.lists(st.integers(-32768, 32767), min_size=4, max_size=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_padd_commutes(self, a, b):
+        m = make_machine("mmx64", Memory())
+        va = m.const(np.array(a, np.int16))
+        vb = m.const(np.array(b, np.int16))
+        ab = m.padd(va, vb, "s16")
+        ba = m.padd(vb, va, "s16")
+        assert np.array_equal(ab.data, ba.data)
+
+    @given(a=st.lists(st.integers(0, 255), min_size=8, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_psadbw_zero_vs_self(self, a):
+        m = make_machine("mmx64", Memory())
+        v = m.const(np.array(a, np.uint8), "u8")
+        self_sad = m.psadbw(v, v)
+        assert int(self_sad.view(np.uint16)[0]) == 0
+        zero_sad = m.psadbw(v, m.zero())
+        assert int(zero_sad.view(np.uint16)[0]) == sum(a)
+
+
+class TestVmmxRoundTrips:
+    @pytest.mark.parametrize("isa", ["vmmx64", "vmmx128"])
+    @given(seed=st.integers(0, 10_000), vl=st.integers(1, 16))
+    @settings(max_examples=25, deadline=None)
+    def test_strided_load_store_round_trip(self, isa, seed, vl):
+        m = make_machine(isa, Memory())
+        rng = np.random.default_rng(seed)
+        stride = m.row_bytes + int(rng.integers(0, 16))
+        flat = rng.integers(0, 256, vl * stride + m.row_bytes, dtype=np.uint8)
+        addr = m.mem.alloc_array(flat)
+        out = m.mem.alloc(flat.size + 64)
+        m.setvl(vl)
+        s = m.li(stride)
+        m.vstore(m.vload(m.li(addr), s), m.li(out), s)
+        for r in range(vl):
+            assert np.array_equal(
+                m.mem.read(out + r * stride, m.row_bytes),
+                flat[r * stride : r * stride + m.row_bytes],
+            )
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_vsad_equals_scalar_sum(self, seed):
+        m = make_machine("vmmx128", Memory())
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 256, (8, 16), dtype=np.uint8)
+        b = rng.integers(0, 256, (8, 16), dtype=np.uint8)
+        m.setvl(8)
+        va = m.vconst_rows(a, "u8")
+        vb = m.vconst_rows(b, "u8")
+        acc = m.vsad_acc(m.acc_zero(), va, vb)
+        expect = int(np.abs(a.astype(int) - b.astype(int)).sum())
+        assert int(m.acc_read(acc)) == expect
+
+    @given(vl=st.integers(1, 16))
+    @settings(max_examples=16, deadline=None)
+    def test_vl_bounds_trace_rows(self, vl):
+        m = make_machine("vmmx64", Memory())
+        m.setvl(vl)
+        a = m.vzero()
+        m.vadd(a, a, "s16")
+        assert m.trace.records[-1].rows == vl
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_matmul_against_numpy(self, seed):
+        m = make_machine("vmmx128", Memory())
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-64, 64, (8, 8)).astype(np.int16)
+        b = rng.integers(-64, 64, (8, 8)).astype(np.int16)
+        m.setvl(8)
+        ra, rb = m.vconst_rows(a), m.vconst_rows(b)
+        macc = m.macc_zero()
+        for k in range(8):
+            macc = m.vmac_bcast(macc, ra, k, rb, k)
+        assert np.array_equal(
+            macc.parts[:8], a.astype(np.int64) @ b.astype(np.int64)
+        )

@@ -1,0 +1,223 @@
+"""Tests for the 1-D SIMD (MMX64/MMX128) emulation machines."""
+
+import numpy as np
+import pytest
+
+from repro.emu import Memory, make_machine
+from repro.isa.opcodes import Category
+
+WIDTHS = {"mmx64": 8, "mmx128": 16}
+
+
+@pytest.fixture(params=["mmx64", "mmx128"])
+def m(request):
+    machine = make_machine(request.param, Memory())
+    return machine
+
+
+def load_bytes(m, data):
+    data = np.asarray(data, dtype=np.uint8)
+    addr = m.mem.alloc_array(data)
+    return m.load(m.li(addr))
+
+
+def const16(m, values):
+    lanes = m.width // 2
+    return m.const(np.resize(np.asarray(values, np.int16), lanes))
+
+
+class TestLoadsStores:
+    def test_width(self, m):
+        assert m.width == WIDTHS[m.isa_name]
+
+    def test_load_reads_bytes(self, m):
+        data = np.arange(m.width, dtype=np.uint8)
+        v = load_bytes(m, data)
+        assert np.array_equal(v.data, data)
+        assert m.trace.records[-1].category is Category.VMEM
+        assert m.trace.records[-1].row_bytes == m.width
+
+    def test_store_round_trip(self, m):
+        data = np.arange(m.width, dtype=np.uint8)[::-1].copy()
+        v = load_bytes(m, data)
+        out = m.mem.alloc(m.width)
+        m.store(v, m.li(out))
+        assert np.array_equal(m.mem.read(out, m.width), data)
+
+    def test_load_low_zero_extends(self, m):
+        addr = m.mem.alloc_array(np.full(8, 7, np.uint8))
+        v = m.load_low(m.li(addr), 4)
+        assert v.data[:4].tolist() == [7, 7, 7, 7]
+        assert (v.data[4:] == 0).all()
+
+    def test_store_low_partial(self, m):
+        v = load_bytes(m, np.arange(m.width, dtype=np.uint8))
+        out = m.mem.alloc(m.width)
+        m.mem.write(out, np.full(m.width, 0xEE, np.uint8))
+        m.store_low(v, m.li(out), 4)
+        got = m.mem.read(out, m.width)
+        assert got[:4].tolist() == [0, 1, 2, 3]
+        assert (got[4:] == 0xEE).all()
+
+
+class TestArithmetic:
+    def test_padd_wrap_u8(self, m):
+        a = load_bytes(m, np.full(m.width, 200, np.uint8))
+        b = load_bytes(m, np.full(m.width, 100, np.uint8))
+        out = m.padd(a, b, "u8")
+        assert (out.view(np.uint8) == 44).all()
+
+    def test_padd_sat_u8(self, m):
+        a = load_bytes(m, np.full(m.width, 200, np.uint8))
+        b = load_bytes(m, np.full(m.width, 100, np.uint8))
+        out = m.padd(a, b, "u8", sat=True)
+        assert (out.view(np.uint8) == 255).all()
+
+    def test_psub_s16_sat(self, m):
+        a = const16(m, [-30000])
+        b = const16(m, [10000])
+        out = m.psub(a, b, "s16", sat=True)
+        assert (out.view(np.int16) == -32768).all()
+
+    def test_pmullw(self, m):
+        a = const16(m, [300])
+        b = const16(m, [100])
+        out = m.pmullw(a, b)
+        assert (out.view(np.int16) == np.int16(30000)).all()
+
+    def test_pmulhw(self, m):
+        a = const16(m, [16384])
+        b = const16(m, [16384])
+        out = m.pmulhw(a, b)
+        assert (out.view(np.int16) == (16384 * 16384) >> 16).all()
+
+    def test_pmaddwd(self, m):
+        a = const16(m, [2, 3])
+        b = const16(m, [10, 100])
+        out = m.pmaddwd(a, b)
+        assert (out.view(np.int32) == 2 * 10 + 3 * 100).all()
+
+    def test_pavgb(self, m):
+        a = load_bytes(m, np.full(m.width, 5, np.uint8))
+        b = load_bytes(m, np.full(m.width, 6, np.uint8))
+        assert (m.pavgb(a, b).view(np.uint8) == 6).all()
+
+    def test_logical_ops(self, m):
+        a = load_bytes(m, np.full(m.width, 0b1100, np.uint8))
+        b = load_bytes(m, np.full(m.width, 0b1010, np.uint8))
+        assert (m.pand(a, b).view(np.uint8) == 0b1000).all()
+        assert (m.por(a, b).view(np.uint8) == 0b1110).all()
+        assert (m.pxor(a, b).view(np.uint8) == 0b0110).all()
+
+    def test_zero(self, m):
+        assert (m.zero().data == 0).all()
+
+    def test_pmulr_q15(self, m):
+        a = const16(m, [16384])       # 0.5 in Q15
+        b = const16(m, [20000])
+        out = m.pmulr_q15(a, b)
+        assert (out.view(np.int16) == 10000).all()
+
+    def test_shifts(self, m):
+        a = const16(m, [-4])
+        assert (m.psra(a, 1, "s16").view(np.int16) == -2).all()
+        assert (m.psll(a, 1, "s16").view(np.int16) == -8).all()
+        b = const16(m, [4])
+        assert (m.psrl(b, 1, "u16").view(np.uint16) == 2).all()
+
+
+class TestPackShuffle:
+    def test_packus_saturates(self, m):
+        a = const16(m, [300])
+        b = const16(m, [-5])
+        out = m.packus(a, b).view(np.uint8)
+        assert (out[: m.width // 2] == 255).all()
+        assert (out[m.width // 2 :] == 0).all()
+
+    def test_packss_s32_to_s16(self, m):
+        a = m.const(np.full(m.width // 4, 100000, np.int32), "s32")
+        b = m.const(np.full(m.width // 4, -100000, np.int32), "s32")
+        out = m.packss(a, b).view(np.int16)
+        assert (out[: m.width // 4] == 32767).all()
+        assert (out[m.width // 4 :] == -32768).all()
+
+    def test_unpack_widens(self, m):
+        data = np.arange(m.width, dtype=np.uint8)
+        v = load_bytes(m, data)
+        lo = m.unpack_u8_to_u16_lo(v).view(np.uint16)
+        hi = m.unpack_u8_to_u16_hi(v).view(np.uint16)
+        assert lo.tolist() == list(range(m.width // 2))
+        assert hi.tolist() == list(range(m.width // 2, m.width))
+
+    def test_pshufw(self, m):
+        lanes = m.width // 2
+        v = const16(m, list(range(lanes)))
+        order = list(reversed(range(lanes)))
+        out = m.pshufw(v, order)
+        assert out.view(np.int16).tolist() == order
+
+    def test_pshufb_with_zero_lane(self, m):
+        v = load_bytes(m, np.arange(m.width, dtype=np.uint8) + 1)
+        idx = [-1] + list(range(m.width - 1))
+        out = m.pshufb(v, idx)
+        assert out.data[0] == 0
+        assert out.data[1:].tolist() == list(range(1, m.width))
+
+    def test_punpck_u16(self, m):
+        a = const16(m, list(range(m.width // 2)))
+        b = const16(m, list(range(100, 100 + m.width // 2)))
+        lo = m.punpcklo(a, b, "u16").view(np.uint16)
+        assert lo[0] == 0 and lo[1] == 100
+
+
+class TestReductions:
+    def test_psadbw_per_group(self, m):
+        a = load_bytes(m, np.full(m.width, 10, np.uint8))
+        b = load_bytes(m, np.full(m.width, 13, np.uint8))
+        out = m.psadbw(a, b).view(np.uint16)
+        assert out[0] == 24  # 8 bytes x |diff|=3
+        if m.width == 16:
+            assert out[4] == 24
+
+    def test_psumabs(self, m):
+        data = np.full(m.width, 0xFF, np.uint8)  # -1 as s8
+        v = load_bytes(m, data)
+        out = m.psumabs_s8(v)
+        assert out.view(np.uint16)[0] == m.width
+
+    def test_hsum_u16(self, m):
+        v = const16(m, [3])
+        out = m.hsum_u16(v)
+        assert out.view(np.uint16)[0] == 3 * (m.width // 2)
+
+    def test_hsum_s32(self, m):
+        v = m.const(np.full(m.width // 4, -7, np.int32), "s32")
+        out = m.hsum_s32(v)
+        assert out.view(np.int32)[0] == -7 * (m.width // 4)
+
+    def test_movd_to_scalar(self, m):
+        v = const16(m, [1234])
+        assert int(m.movd_to_scalar(v, "u16", 0)) == 1234
+
+    def test_movd_from_scalar_broadcasts(self, m):
+        v = m.movd_from_scalar(m.li(-77), "s16")
+        assert (v.view(np.int16) == -77).all()
+
+
+class TestTraceEmission:
+    def test_arith_is_varith(self, m):
+        a = m.zero()
+        m.padd(a, a, "u8")
+        assert m.trace.records[-1].category is Category.VARITH
+
+    def test_all_records_single_row(self, m):
+        a = m.zero()
+        m.padd(a, a, "u8")
+        m.pmaddwd(a, a)
+        assert all(r.rows == 1 for r in m.trace.records)
+
+    def test_invalid_width_rejected(self):
+        from repro.emu.mmx import MMXMachine
+
+        with pytest.raises(ValueError):
+            MMXMachine(Memory(), width=12)

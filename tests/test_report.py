@@ -1,0 +1,43 @@
+"""Tests for the plain-text report renderer."""
+
+from repro.experiments.report import render_bar_series, render_table
+
+
+class TestRenderTable:
+    def test_headers_and_rows_aligned(self):
+        text = render_table(("a", "bb"), [(1, 2.5), (30, 4.25)])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len(set(len(l) for l in lines[0:1])) == 1
+
+    def test_title(self):
+        text = render_table(("x",), [(1,)], title="My Table")
+        assert text.startswith("My Table\n========")
+
+    def test_float_formatting(self):
+        text = render_table(("v",), [(1.23456,)])
+        assert "1.23" in text and "1.2345" not in text
+
+    def test_string_cells(self):
+        text = render_table(("name", "n"), [("hello", 1)])
+        assert "hello" in text
+
+    def test_empty_rows(self):
+        text = render_table(("a",), [])
+        assert "a" in text
+
+
+class TestBarSeries:
+    def test_bars_scale_to_peak(self):
+        text = render_bar_series(["low", "high"], [1.0, 4.0], width=20)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 20
+        assert 4 <= lines[0].count("#") <= 6
+
+    def test_values_printed(self):
+        text = render_bar_series(["k"], [2.5])
+        assert "2.50x" in text
+
+    def test_minimum_one_hash(self):
+        text = render_bar_series(["a", "b"], [0.001, 10.0])
+        assert "#" in text.splitlines()[0]

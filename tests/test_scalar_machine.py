@@ -1,0 +1,152 @@
+"""Tests for the scalar emulation machine."""
+
+import pytest
+
+from repro.emu import Memory, make_machine
+from repro.isa.opcodes import Category, FUClass
+
+
+@pytest.fixture
+def m():
+    return make_machine("scalar", Memory())
+
+
+class TestALU:
+    def test_li(self, m):
+        r = m.li(42)
+        assert int(r) == 42
+        assert m.trace.records[-1].category is Category.SARITH
+
+    def test_add_reg_reg(self, m):
+        c = m.add(m.li(3), m.li(4))
+        assert int(c) == 7
+
+    def test_add_immediate(self, m):
+        assert int(m.add(m.li(3), 10)) == 13
+
+    def test_sub_mul(self, m):
+        assert int(m.sub(m.li(10), 4)) == 6
+        assert int(m.mul(m.li(6), 7)) == 42
+
+    def test_mul_latency_longer_than_add(self, m):
+        m.mul(m.li(1), 2)
+        mul_lat = m.trace.records[-1].latency
+        m.add(m.li(1), 2)
+        add_lat = m.trace.records[-1].latency
+        assert mul_lat > add_lat
+
+    def test_shifts(self, m):
+        assert int(m.sll(m.li(3), 4)) == 48
+        assert int(m.sra(m.li(-8), 1)) == -4
+
+    def test_logical(self, m):
+        assert int(m.and_(m.li(0b1100), 0b1010)) == 0b1000
+        assert int(m.or_(m.li(0b1100), 0b1010)) == 0b1110
+        assert int(m.xor(m.li(0b1100), 0b1010)) == 0b0110
+
+    def test_abs_min_max(self, m):
+        assert int(m.abs_(m.li(-5))) == 5
+        assert int(m.min_(m.li(3), 7)) == 3
+        assert int(m.max_(m.li(3), 7)) == 7
+
+    def test_cmplt(self, m):
+        assert int(m.cmplt(m.li(1), 2)) == 1
+        assert int(m.cmplt(m.li(2), 1)) == 0
+
+    def test_clamp_emits_two_ops(self, m):
+        before = len(m.trace)
+        assert int(m.clamp(m.li(300), 0, 255)) == 255
+        assert len(m.trace) == before + 3  # li + min + max
+
+    def test_wraps_to_64_bit(self, m):
+        big = m.li((1 << 63) - 1)
+        out = m.add(big, 1)
+        assert int(out) == -(1 << 63)
+
+    def test_ssa_ids_unique(self, m):
+        a = m.li(1)
+        b = m.add(a, 1)
+        c = m.add(b, 1)
+        assert len({a.rid, b.rid, c.rid}) == 3
+
+    def test_dependencies_recorded(self, m):
+        a = m.li(1)
+        b = m.li(2)
+        m.add(a, b)
+        assert set(m.trace.records[-1].srcs) == {a.rid, b.rid}
+
+
+class TestMemoryOps:
+    def test_load_u8(self, m):
+        addr = m.mem.alloc(4)
+        m.mem.write_u8(addr + 2, 200)
+        assert int(m.load_u8(m.li(addr), 2)) == 200
+        assert m.trace.records[-1].category is Category.SMEM
+        assert m.trace.records[-1].fu is FUClass.MEM
+
+    def test_load_s16_sign_extends(self, m):
+        addr = m.mem.alloc(4)
+        m.mem.write_s16(addr, -5)
+        assert int(m.load_s16(m.li(addr))) == -5
+
+    def test_load_u16(self, m):
+        addr = m.mem.alloc(4)
+        m.mem.write_s16(addr, -1)
+        assert int(m.load_u16(m.li(addr))) == 0xFFFF
+
+    def test_load_s32(self, m):
+        addr = m.mem.alloc(4)
+        m.mem.write_s32(addr, -100000)
+        assert int(m.load_s32(m.li(addr))) == -100000
+
+    def test_store_round_trip(self, m):
+        addr = m.mem.alloc(8)
+        m.store_u8(m.li(77), m.li(addr))
+        m.store_s16(m.li(-300), m.li(addr), 2)
+        m.store_s32(m.li(1 << 20), m.li(addr), 4)
+        assert m.mem.read_u8(addr) == 77
+        assert m.mem.read_s16(addr + 2) == -300
+        assert m.mem.read_s32(addr + 4) == 1 << 20
+
+    def test_store_marks_record(self, m):
+        addr = m.mem.alloc(4)
+        m.store_u8(m.li(1), m.li(addr))
+        assert m.trace.records[-1].is_store
+        assert m.trace.records[-1].addr == addr
+
+    def test_effective_address_recorded(self, m):
+        addr = m.mem.alloc(16)
+        m.load_u8(m.li(addr), 5)
+        assert m.trace.records[-1].addr == addr + 5
+
+
+class TestControl:
+    def test_branch_record(self, m):
+        m.branch(True, site=7)
+        r = m.trace.records[-1]
+        assert r.is_branch and r.taken and r.pc == 7
+        assert r.category is Category.SCTRL
+
+    def test_loop_yields_indices(self, m):
+        assert list(m.loop(4)) == [0, 1, 2, 3]
+
+    def test_loop_emits_counter_and_branch(self, m):
+        list(m.loop(3))
+        branches = [r for r in m.trace.records if r.is_branch]
+        assert len(branches) == 3
+        assert [b.taken for b in branches] == [True, True, False]
+
+    def test_loop_branches_share_site(self, m):
+        list(m.loop(3))
+        sites = {r.pc for r in m.trace.records if r.is_branch}
+        assert len(sites) == 1
+
+    def test_distinct_loops_have_distinct_sites(self, m):
+        list(m.loop(2))
+        first = {r.pc for r in m.trace.records if r.is_branch}
+        list(m.loop(2))
+        both = {r.pc for r in m.trace.records if r.is_branch}
+        assert len(both) == 2 and first < both
+
+    def test_new_branch_site_monotonic(self, m):
+        assert m.new_branch_site() < m.new_branch_site()

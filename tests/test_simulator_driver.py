@@ -1,0 +1,60 @@
+"""Tests for the simulation drivers and result caching."""
+
+import pytest
+
+from repro.timing.simulator import KernelTiming, simulate_kernel, simulate_trace
+from repro.timing.config import get_config
+from repro.isa.trace import Trace
+
+
+class TestSimulateKernel:
+    def test_returns_timing(self):
+        t = simulate_kernel("ltpfilt", "mmx64", 2)
+        assert isinstance(t, KernelTiming)
+        assert t.result.cycles > 0
+        assert t.result.instructions > 0
+
+    def test_cached_identity(self):
+        a = simulate_kernel("ltpfilt", "mmx64", 2)
+        b = simulate_kernel("ltpfilt", "mmx64", 2)
+        assert a is b
+
+    def test_per_invocation_scaling(self):
+        t = simulate_kernel("ltpfilt", "mmx64", 2)
+        assert t.cycles_per_invocation == pytest.approx(t.result.cycles / t.batch)
+        assert t.instructions_per_invocation == pytest.approx(
+            t.result.instructions / t.batch
+        )
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            simulate_kernel("fft", "mmx64", 2)
+
+    def test_verifies_correctness(self):
+        # simulate_kernel must run the functional check; a correct kernel
+        # passes silently.
+        simulate_kernel("comp", "vmmx128", 2)
+
+    @pytest.mark.parametrize("isa", ["mmx64", "mmx128", "vmmx64", "vmmx128"])
+    def test_all_isas_simulate(self, isa):
+        t = simulate_kernel("addblock", isa, 4)
+        assert t.result.cycles > 0
+
+
+class TestSimulateTrace:
+    def test_empty_trace(self):
+        result = simulate_trace(Trace(), get_config("mmx64", 2))
+        assert result.cycles == 0
+
+    def test_warm_flag_changes_results(self):
+        run = __import__("repro.kernels.base", fromlist=["execute"]).execute
+        from repro.kernels.registry import KERNELS
+
+        trace = run(KERNELS["comp"], "mmx64", seed=0).trace
+        cold = simulate_trace(trace, get_config("mmx64", 2), warm=False)
+        warm = simulate_trace(trace, get_config("mmx64", 2), warm=True)
+        assert warm.cycles < cold.cycles
+
+    def test_result_reports_config_name(self):
+        result = simulate_trace(Trace(), get_config("vmmx128", 8))
+        assert result.config_name == "8way-vmmx128"

@@ -1,0 +1,223 @@
+"""Unit and property tests for packed subword arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import subword as sw
+
+INT_TYPES = ["u8", "s8", "u16", "s16", "u32", "s32"]
+
+
+def lanes(dtype, count=8, seed=0):
+    rng = np.random.default_rng(seed)
+    lo, hi = sw.BOUNDS[dtype]
+    return rng.integers(lo, hi + 1, count).astype(sw.STORAGE[dtype])
+
+
+class TestSaturate:
+    @pytest.mark.parametrize("dtype", INT_TYPES)
+    def test_within_range_is_identity(self, dtype):
+        values = lanes(dtype)
+        assert np.array_equal(sw.saturate(values, dtype), values)
+
+    @pytest.mark.parametrize("dtype", INT_TYPES)
+    def test_clamps_above(self, dtype):
+        _, hi = sw.BOUNDS[dtype]
+        out = sw.saturate(np.array([hi + 1, hi + 1000]), dtype)
+        assert (out == hi).all()
+
+    @pytest.mark.parametrize("dtype", INT_TYPES)
+    def test_clamps_below(self, dtype):
+        lo, _ = sw.BOUNDS[dtype]
+        out = sw.saturate(np.array([lo - 1, lo - 1000]), dtype)
+        assert (out == lo).all()
+
+    def test_output_dtype(self):
+        assert sw.saturate(np.array([1]), "u8").dtype == np.uint8
+        assert sw.saturate(np.array([1]), "s16").dtype == np.int16
+
+
+class TestWrap:
+    def test_u8_wraps_modulo(self):
+        out = sw.wrap(np.array([256, 257, -1]), "u8")
+        assert out.tolist() == [0, 1, 255]
+
+    def test_s16_wraps_twos_complement(self):
+        out = sw.wrap(np.array([32768, -32769]), "s16")
+        assert out.tolist() == [-32768, 32767]
+
+    @pytest.mark.parametrize("dtype", INT_TYPES)
+    @given(value=st.integers(min_value=-(2**40), max_value=2**40))
+    @settings(max_examples=25, deadline=None)
+    def test_wrap_is_modular(self, dtype, value):
+        bits = 8 * sw.WIDTH[dtype]
+        out = int(sw.wrap(np.array([value]), dtype)[0])
+        assert (out - value) % (1 << bits) == 0
+
+
+class TestAddSub:
+    @pytest.mark.parametrize("dtype", ["u8", "s16"])
+    def test_add_wrap_matches_python(self, dtype):
+        a, b = lanes(dtype, seed=1), lanes(dtype, seed=2)
+        got = sw.add_wrap(a, b, dtype)
+        bits = 8 * sw.WIDTH[dtype]
+        for x, y, z in zip(a.tolist(), b.tolist(), got.tolist()):
+            assert (z - (x + y)) % (1 << bits) == 0
+
+    def test_add_sat_u8_saturates(self):
+        out = sw.add_sat(np.array([200], np.uint8), np.array([100], np.uint8), "u8")
+        assert out[0] == 255
+
+    def test_sub_sat_u8_floors_at_zero(self):
+        out = sw.sub_sat(np.array([10], np.uint8), np.array([50], np.uint8), "u8")
+        assert out[0] == 0
+
+    def test_add_sat_s16(self):
+        out = sw.add_sat(
+            np.array([30000], np.int16), np.array([10000], np.int16), "s16"
+        )
+        assert out[0] == 32767
+
+    @given(
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_add_sat_never_exceeds_bounds(self, a, b):
+        out = int(sw.add_sat(np.array([a]), np.array([b]), "u8")[0])
+        assert 0 <= out <= 255
+        assert out == min(a + b, 255)
+
+
+class TestMultiply:
+    def test_mul_lo_wraps(self):
+        out = sw.mul_lo(np.array([1000], np.int16), np.array([1000], np.int16), "s16")
+        assert out[0] == np.int16(1000000 & 0xFFFF)
+
+    def test_mul_hi_s16(self):
+        out = sw.mul_hi_s16(np.array([1000], np.int16), np.array([1000], np.int16))
+        assert out[0] == (1000 * 1000) >> 16
+
+    def test_mul_hi_negative(self):
+        out = sw.mul_hi_s16(np.array([-1000], np.int16), np.array([1000], np.int16))
+        assert out[0] == ((-1000 * 1000) >> 16) & 0xFFFF or out[0] == np.int16((-1000000) >> 16)
+
+    def test_madd_pairs(self):
+        a = np.array([1, 2, 3, 4], np.int16)
+        b = np.array([5, 6, 7, 8], np.int16)
+        out = sw.madd_s16(a, b)
+        assert out.tolist() == [1 * 5 + 2 * 6, 3 * 7 + 4 * 8]
+
+    @given(data=st.lists(st.integers(-3000, 3000), min_size=8, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_madd_exact_for_small_products(self, data):
+        a = np.array(data, np.int16)
+        out = sw.madd_s16(a, a)
+        expect = [
+            data[2 * i] ** 2 + data[2 * i + 1] ** 2 for i in range(4)
+        ]
+        assert out.tolist() == expect
+
+
+class TestReductions:
+    def test_abs_diff_sum(self):
+        a = np.array([10, 20], np.uint8)
+        b = np.array([15, 5], np.uint8)
+        assert sw.abs_diff_sum_u8(a, b) == 5 + 15
+
+    def test_sq_diff_sum(self):
+        a = np.array([10, 20], np.uint8)
+        b = np.array([15, 5], np.uint8)
+        assert sw.sq_diff_sum_u8(a, b) == 25 + 225
+
+    @given(
+        a=st.lists(st.integers(0, 255), min_size=4, max_size=16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_abs_diff_sum_self_is_zero(self, a):
+        arr = np.array(a, np.uint8)
+        assert sw.abs_diff_sum_u8(arr, arr) == 0
+
+    def test_avg_round_rounds_up(self):
+        out = sw.avg_round_u8(np.array([1], np.uint8), np.array([2], np.uint8))
+        assert out[0] == 2  # (1+2+1)>>1
+
+    @given(
+        a=st.integers(0, 255), b=st.integers(0, 255)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_avg_round_bounds(self, a, b):
+        out = int(sw.avg_round_u8(np.array([a]), np.array([b]))[0])
+        assert min(a, b) <= out <= max(a, b) or out == (a + b + 1) // 2
+        assert out == (a + b + 1) // 2
+
+
+class TestShifts:
+    def test_srl_is_logical(self):
+        val = np.array([-2], np.int16).view(np.uint16)
+        out = sw.shift_right_logical(val, 1, "u16")
+        assert out[0] == 0x7FFF
+
+    def test_sra_is_arithmetic(self):
+        out = sw.shift_right_arith(np.array([-2], np.int16), 1, "s16")
+        assert out[0] == -1
+
+    def test_sll_wraps(self):
+        out = sw.shift_left(np.array([0x4000], np.int16), 2, "s16")
+        assert out[0] == np.int16(0x0000)
+
+    @pytest.mark.parametrize("count", [0, 1, 4, 7])
+    def test_sll_matches_python(self, count):
+        a = lanes("u16", seed=3)
+        out = sw.shift_left(a, count, "u16")
+        for x, y in zip(a.tolist(), out.tolist()):
+            assert y == (x << count) & 0xFFFF
+
+
+class TestPackInterleave:
+    def test_pack_sat_narrows(self):
+        a = np.array([300, -5], np.int64)
+        out = sw.pack_sat(a, np.array([], np.int64), "u8")
+        assert out.tolist() == [255, 0]
+
+    def test_interleave_lo(self):
+        a = np.array([1, 2, 3, 4], np.int16)
+        b = np.array([5, 6, 7, 8], np.int16)
+        assert sw.interleave_lo(a, b).tolist() == [1, 5, 2, 6]
+
+    def test_interleave_hi(self):
+        a = np.array([1, 2, 3, 4], np.int16)
+        b = np.array([5, 6, 7, 8], np.int16)
+        assert sw.interleave_hi(a, b).tolist() == [3, 7, 4, 8]
+
+    def test_interleave_lo_hi_partition(self):
+        a = np.arange(8, dtype=np.int16)
+        b = np.arange(8, 16, dtype=np.int16)
+        merged = np.concatenate(
+            [sw.interleave_lo(a, b), sw.interleave_hi(a, b)]
+        )
+        assert sorted(merged.tolist()) == list(range(16))
+
+
+class TestRoundShift:
+    def test_zero_shift_is_identity(self):
+        a = np.array([5, -7])
+        assert sw.round_shift(a, 0).tolist() == [5, -7]
+
+    def test_rounds_to_nearest(self):
+        a = np.array([5, 6, 7, 8])
+        out = sw.round_shift(a, 2)
+        assert out.tolist() == [1, 2, 2, 2]
+
+    def test_negative_rounding(self):
+        out = sw.round_shift(np.array([-5]), 2)
+        assert out[0] == -1  # (-5 + 2) >> 2
+
+    @given(value=st.integers(-(2**20), 2**20), shift=st.integers(1, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_error_bound(self, value, shift):
+        out = int(sw.round_shift(np.array([value]), shift)[0])
+        exact = value / (1 << shift)
+        assert abs(out - exact) <= 0.5

@@ -1,0 +1,95 @@
+"""Tests for trace records and streams."""
+
+from repro.isa.opcodes import Category, FUClass
+from repro.isa.trace import Trace, TraceRecord, TraceStats
+
+
+def rec(category=Category.SARITH, **kw):
+    defaults = dict(name="op", fu=FUClass.INT, latency=1)
+    defaults.update(kw)
+    return TraceRecord(category=category, **defaults)
+
+
+class TestTraceRecord:
+    def test_defaults(self):
+        r = rec()
+        assert r.rows == 1
+        assert not r.is_mem
+        assert not r.is_branch
+
+    def test_is_mem(self):
+        assert rec(addr=100, row_bytes=8).is_mem
+        assert not rec().is_mem
+
+    def test_element_ops_follow_rows(self):
+        assert rec(rows=16).element_ops == 16
+
+    def test_vector_categories(self):
+        assert Category.VMEM.is_vector
+        assert Category.VARITH.is_vector
+        assert not Category.SARITH.is_vector
+        assert not Category.SMEM.is_vector
+        assert not Category.SCTRL.is_vector
+
+
+class TestTrace:
+    def test_counts_by_category(self):
+        t = Trace()
+        t.append(rec(Category.SARITH))
+        t.append(rec(Category.SARITH))
+        t.append(rec(Category.VMEM, addr=0, row_bytes=8))
+        assert t.count() == 3
+        assert t.count(Category.SARITH) == 2
+        assert t.count(Category.VMEM) == 1
+        assert t.count(Category.SCTRL) == 0
+
+    def test_category_counts_keys(self):
+        t = Trace()
+        t.append(rec())
+        counts = t.category_counts()
+        assert set(counts) == {"smem", "sarith", "sctrl", "vmem", "varith"}
+
+    def test_vector_fraction(self):
+        t = Trace()
+        t.append(rec(Category.SARITH))
+        t.append(rec(Category.VARITH))
+        assert t.vector_fraction() == 0.5
+
+    def test_vector_fraction_empty(self):
+        assert Trace().vector_fraction() == 0.0
+
+    def test_extend_concatenates(self):
+        a, b = Trace(), Trace()
+        a.append(rec())
+        b.append(rec(Category.VARITH))
+        a.extend(b)
+        assert len(a) == 2
+        assert a.counts[Category.VARITH] == 1
+
+    def test_iteration_order(self):
+        t = Trace()
+        t.append(rec(name="first"))
+        t.append(rec(name="second"))
+        assert [r.name for r in t] == ["first", "second"]
+
+    def test_summary_mentions_counts(self):
+        t = Trace("demo")
+        t.append(rec())
+        assert "demo" in t.summary()
+        assert "sarith=1" in t.summary()
+
+
+class TestTraceStats:
+    def test_add_trace_with_scale(self):
+        t = Trace()
+        t.append(rec(Category.VARITH, rows=8))
+        stats = TraceStats()
+        stats.add_trace(t, scale=3)
+        assert stats.instructions[Category.VARITH] == 3
+        assert stats.element_ops[Category.VARITH] == 24
+
+    def test_add_counts(self):
+        stats = TraceStats()
+        stats.add_counts(Category.SMEM, 100)
+        assert stats.total() == 100
+        assert stats.by_value()["smem"] == 100

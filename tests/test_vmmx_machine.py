@@ -1,0 +1,279 @@
+"""Tests for the 2-D matrix (VMMX64/VMMX128) emulation machines."""
+
+import numpy as np
+import pytest
+
+from repro.emu import Memory, make_machine
+from repro.isa.opcodes import Category
+
+ROW_BYTES = {"vmmx64": 8, "vmmx128": 16}
+
+
+@pytest.fixture(params=["vmmx64", "vmmx128"])
+def m(request):
+    return make_machine(request.param, Memory())
+
+
+def load_matrix(m, rows):
+    rows = np.asarray(rows, dtype=np.uint8)
+    addr = m.mem.alloc_array(rows)
+    m.setvl(rows.shape[0])
+    return m.vload(m.li(addr))
+
+
+class TestVectorControl:
+    def test_row_bytes(self, m):
+        assert m.row_bytes == ROW_BYTES[m.isa_name]
+
+    def test_setvl(self, m):
+        m.setvl(5)
+        assert m.vl == 5
+
+    @pytest.mark.parametrize("bad", [0, 17, -3])
+    def test_setvl_rejects_out_of_range(self, m, bad):
+        with pytest.raises(ValueError):
+            m.setvl(bad)
+
+    def test_invalid_row_bytes_rejected(self):
+        from repro.emu.vmmx import VMMXMachine
+
+        with pytest.raises(ValueError):
+            VMMXMachine(Memory(), row_bytes=12)
+
+
+class TestVectorMemory:
+    def test_unit_stride_load(self, m):
+        rows = np.arange(4 * m.row_bytes, dtype=np.uint8).reshape(4, -1)
+        v = load_matrix(m, rows)
+        assert np.array_equal(v.data[:4], rows)
+        rec = m.trace.records[-1]
+        assert rec.category is Category.VMEM
+        assert rec.rows == 4
+        assert rec.stride == m.row_bytes
+
+    def test_strided_load(self, m):
+        stride = m.row_bytes + 4
+        flat = np.arange(8 * stride, dtype=np.uint8)
+        addr = m.mem.alloc_array(flat)
+        m.setvl(8)
+        v = m.vload(m.li(addr), m.li(stride))
+        for r in range(8):
+            assert np.array_equal(
+                v.data[r], flat[r * stride : r * stride + m.row_bytes]
+            )
+        assert m.trace.records[-1].stride == stride
+
+    def test_store_round_trip(self, m):
+        rows = np.arange(6 * m.row_bytes, dtype=np.uint8).reshape(6, -1)
+        v = load_matrix(m, rows)
+        out = m.mem.alloc(rows.size)
+        m.vstore(v, m.li(out))
+        assert np.array_equal(
+            m.mem.read(out, rows.size).reshape(rows.shape), rows
+        )
+
+    def test_partial_load_zero_fills(self, m):
+        flat = np.full(64, 9, np.uint8)
+        addr = m.mem.alloc_array(flat)
+        m.setvl(4)
+        v = m.vload_part(m.li(addr), 3, m.li(3))
+        assert (v.data[:4, :3] == 9).all()
+        assert (v.data[:4, 3:] == 0).all()
+        assert m.trace.records[-1].row_bytes == 3
+
+    def test_partial_store(self, m):
+        rows = np.arange(4 * m.row_bytes, dtype=np.uint8).reshape(4, -1)
+        v = load_matrix(m, rows)
+        out = m.mem.alloc(64)
+        m.vstore_part(v, m.li(out), 2, m.li(5))
+        for r in range(4):
+            assert np.array_equal(m.mem.read(out + 5 * r, 2), rows[r, :2])
+
+    def test_load_respects_vl(self, m):
+        rows = np.arange(8 * m.row_bytes, dtype=np.uint8).reshape(8, -1)
+        addr = m.mem.alloc_array(rows)
+        m.setvl(3)
+        v = m.vload(m.li(addr))
+        assert (v.data[3:] == 0).all()
+
+
+class TestElementwise:
+    def test_vadd_s16(self, m):
+        m.setvl(4)
+        a = m.vconst_rows(np.full((4, m.row_bytes // 2), 1000, np.int16))
+        b = m.vconst_rows(np.full((4, m.row_bytes // 2), -250, np.int16))
+        out = m.vadd(a, b, "s16")
+        assert (out.data[:4].view(np.int16) == 750).all()
+
+    def test_vadd_saturating(self, m):
+        m.setvl(2)
+        a = m.vconst_rows(np.full((2, m.row_bytes // 2), 30000, np.int16))
+        out = m.vadd(a, a, "s16", sat=True)
+        assert (out.data[:2].view(np.int16) == 32767).all()
+
+    def test_vsub_u8_wraps(self, m):
+        m.setvl(2)
+        a = m.vconst_rows(np.full((2, m.row_bytes), 5, np.uint8), "u8")
+        b = m.vconst_rows(np.full((2, m.row_bytes), 6, np.uint8), "u8")
+        out = m.vsub(a, b, "u8")
+        assert (out.data[:2] == 255).all()
+
+    def test_vmul_lo(self, m):
+        m.setvl(2)
+        a = m.vconst_rows(np.full((2, m.row_bytes // 2), 7, np.int16))
+        b = m.vconst_rows(np.full((2, m.row_bytes // 2), 9, np.int16))
+        assert (m.vmul_lo(a, b).data[:2].view(np.int16) == 63).all()
+
+    def test_vavg_u8(self, m):
+        m.setvl(2)
+        a = m.vconst_rows(np.full((2, m.row_bytes), 4, np.uint8), "u8")
+        b = m.vconst_rows(np.full((2, m.row_bytes), 5, np.uint8), "u8")
+        assert (m.vavg_u8(a, b).data[:2] == 5).all()
+
+    def test_vshift_kinds(self, m):
+        m.setvl(1)
+        a = m.vconst_rows(np.full((1, m.row_bytes // 2), -8, np.int16))
+        assert (m.vshift(a, 1, "sra").data[:1].view(np.int16) == -4).all()
+        assert (m.vshift(a, 1, "sll").data[:1].view(np.int16) == -16).all()
+
+    def test_vmul_round_q15(self, m):
+        m.setvl(3)
+        a = m.vconst_rows(np.full((3, m.row_bytes // 2), 20000, np.int16))
+        out = m.vmul_round_q15(a, m.li(16384))
+        assert (out.data[:3].view(np.int16) == 10000).all()
+
+    def test_records_carry_vl_rows(self, m):
+        m.setvl(7)
+        a = m.vzero()
+        m.vadd(a, a, "s16")
+        assert m.trace.records[-1].rows == 7
+
+
+class TestWidenNarrow:
+    def test_vunpack_lo_hi(self, m):
+        rows = np.arange(2 * m.row_bytes, dtype=np.uint8).reshape(2, -1)
+        v = load_matrix(m, rows)
+        lo = m.vunpack_u8_to_u16(v, "lo").data[:2].view(np.uint16)
+        hi = m.vunpack_u8_to_u16(v, "hi").data[:2].view(np.uint16)
+        half = m.row_bytes // 2
+        assert np.array_equal(lo, rows[:, :half].astype(np.uint16))
+        assert np.array_equal(hi, rows[:, half:].astype(np.uint16))
+
+    def test_vpack_two_sources(self, m):
+        m.setvl(2)
+        lanes = m.row_bytes // 2
+        a = m.vconst_rows(np.full((2, lanes), 300, np.int16))
+        b = m.vconst_rows(np.full((2, lanes), -3, np.int16))
+        out = m.vpack_u16_to_u8(a, b).data[:2]
+        assert (out[:, :lanes] == 255).all()
+        assert (out[:, lanes:] == 0).all()
+
+    def test_vpack_single_source_pads(self, m):
+        m.setvl(3)
+        lanes = m.row_bytes // 2
+        a = m.vconst_rows(np.full((3, lanes), 100, np.int16))
+        out = m.vpack_u16_to_u8(a)
+        assert (out.data[:3, :lanes] == 100).all()
+        assert (out.data[:3, lanes:] == 0).all()
+
+    def test_vpack_s32_to_s16(self, m):
+        m.setvl(2)
+        lanes32 = m.row_bytes // 4
+        a = m.vconst_rows(np.full((2, lanes32), 100000, np.int32), "s32")
+        out = m.vpack_s32_to_s16(a)
+        got = out.data[:2].view(np.int16)[:, : lanes32]
+        assert (got == 32767).all()
+
+    def test_vinterleave(self, m):
+        m.setvl(1)
+        lanes = m.row_bytes // 2
+        a = m.vconst_rows(np.arange(lanes, dtype=np.int16).reshape(1, -1))
+        b = m.vconst_rows((np.arange(lanes, dtype=np.int16) + 100).reshape(1, -1))
+        lo = m.vinterleave(a, b, "u16", "lo").data[:1].view(np.uint16)[0]
+        assert lo[0] == 0 and lo[1] == 100
+
+    def test_vmadd_s16(self, m):
+        m.setvl(2)
+        lanes = m.row_bytes // 2
+        a = m.vconst_rows(np.full((2, lanes), 3, np.int16))
+        b = m.vconst_rows(np.full((2, lanes), 7, np.int16))
+        out = m.vmadd_s16(a, b).data[:2].view(np.int32)
+        assert (out == 42).all()  # pairs: 3*7 + 3*7
+
+
+class TestAccumulators:
+    def test_vsad_acc_exact(self, m):
+        rng = np.random.default_rng(0)
+        a_rows = rng.integers(0, 256, (6, m.row_bytes), dtype=np.uint8)
+        b_rows = rng.integers(0, 256, (6, m.row_bytes), dtype=np.uint8)
+        a = load_matrix(m, a_rows)
+        b = load_matrix(m, b_rows)
+        acc = m.vsad_acc(m.acc_zero(), a, b)
+        expect = int(np.abs(a_rows.astype(int) - b_rows.astype(int)).sum())
+        assert int(m.acc_read(acc)) == expect
+
+    def test_vsqd_acc_exact(self, m):
+        rng = np.random.default_rng(1)
+        a_rows = rng.integers(0, 256, (4, m.row_bytes), dtype=np.uint8)
+        b_rows = rng.integers(0, 256, (4, m.row_bytes), dtype=np.uint8)
+        a = load_matrix(m, a_rows)
+        b = load_matrix(m, b_rows)
+        acc = m.vsqd_acc(m.acc_zero(), a, b)
+        d = a_rows.astype(np.int64) - b_rows.astype(np.int64)
+        assert int(m.acc_read(acc)) == int((d * d).sum())
+
+    def test_vdot_acc_exact(self, m):
+        m.setvl(4)
+        lanes = m.row_bytes // 2
+        a = m.vconst_rows(np.full((4, lanes), -30, np.int16))
+        b = m.vconst_rows(np.full((4, lanes), 11, np.int16))
+        acc = m.vdot_acc(m.acc_zero(), a, b)
+        assert int(m.acc_read(acc)) == -30 * 11 * 4 * lanes
+
+    def test_accumulation_chains(self, m):
+        m.setvl(1)
+        a = m.vconst_rows(np.full((1, m.row_bytes), 1, np.uint8), "u8")
+        b = m.vconst_rows(np.full((1, m.row_bytes), 0, np.uint8), "u8")
+        acc = m.acc_zero()
+        acc = m.vsad_acc(acc, a, b)
+        acc = m.vsad_acc(acc, a, b)
+        assert int(m.acc_read(acc)) == 2 * m.row_bytes
+
+
+class TestMatrixMAC:
+    def test_vmac_bcast_matmul(self, m):
+        rng = np.random.default_rng(2)
+        lanes = m.row_bytes // 2
+        a_mat = rng.integers(-50, 50, (8, lanes)).astype(np.int16)
+        b_mat = rng.integers(-50, 50, (8, lanes)).astype(np.int16)
+        m.setvl(8)
+        a = m.vconst_rows(a_mat)
+        b = m.vconst_rows(b_mat)
+        macc = m.macc_zero()
+        for k in range(min(8, lanes)):
+            macc = m.vmac_bcast(macc, a, k, b, k)
+        expect = a_mat[:, : min(8, lanes)].astype(np.int64) @ b_mat[: min(8, lanes)].astype(np.int64)
+        assert np.array_equal(macc.parts[:8], expect)
+
+    def test_vmac_elem(self, m):
+        m.setvl(2)
+        lanes = m.row_bytes // 2
+        a = m.vconst_rows(np.full((2, lanes), 9, np.int16))
+        macc = m.vmac_elem(m.macc_zero(), a, a)
+        assert (macc.parts[:2] == 81).all()
+
+    def test_macc_pack_rs_rounds(self, m):
+        m.setvl(1)
+        lanes = m.row_bytes // 2
+        a = m.vconst_rows(np.full((1, lanes), 10, np.int16))
+        b = m.vconst_rows(np.full((1, lanes), 13, np.int16))
+        macc = m.vmac_elem(m.macc_zero(), a, b)  # 130 per lane
+        out = m.macc_pack_rs(macc, 2)            # RS(130, 2) = 33
+        assert (out.data[:1].view(np.int16) == 33).all()
+
+    def test_vextract_row(self, m):
+        m.setvl(2)
+        lanes = m.row_bytes // 2
+        rows = np.arange(2 * lanes, dtype=np.int16).reshape(2, lanes)
+        v = m.vconst_rows(rows)
+        assert int(m.vextract_row(v, 1, "s16", 0)) == lanes

@@ -1,0 +1,78 @@
+"""Synthetic workload generator tests."""
+
+import numpy as np
+
+from repro.workloads import speech_signal, video_clip
+from repro.workloads import test_image as make_image
+
+
+class TestImage:
+    def test_shape_and_dtype(self):
+        img = make_image(96, 64)
+        assert img.shape == (64, 96, 3)
+        assert img.dtype == np.uint8
+
+    def test_deterministic(self):
+        assert np.array_equal(make_image(seed=5), make_image(seed=5))
+
+    def test_seeds_differ(self):
+        assert not np.array_equal(make_image(seed=1), make_image(seed=2))
+
+    def test_has_texture_and_structure(self):
+        img = make_image(96, 64).astype(np.int64)
+        assert img.std() > 20           # not flat
+        # neighbouring pixels correlate (natural-image statistic)
+        diff = np.abs(np.diff(img[:, :, 0], axis=1)).mean()
+        assert diff < img[:, :, 0].std()
+
+
+class TestVideo:
+    def test_shape(self):
+        clip = video_clip(64, 48, frames=4)
+        assert clip.shape == (4, 48, 64)
+        assert clip.dtype == np.uint8
+
+    def test_deterministic(self):
+        assert np.array_equal(video_clip(seed=3), video_clip(seed=3))
+
+    def test_motion_is_coherent(self):
+        """A small translation of the previous frame should beat the
+        zero-motion difference -- otherwise motion search is pointless."""
+        clip = video_clip(64, 48, frames=3).astype(np.int64)
+        cur, prev = clip[1], clip[0]
+        zero_sad = np.abs(cur[8:40, 8:56] - prev[8:40, 8:56]).sum()
+        best = min(
+            np.abs(cur[8:40, 8:56] - prev[8 + dy : 40 + dy, 8 + dx : 56 + dx]).sum()
+            for dy in (-2, -1, 0, 1, 2)
+            for dx in (-3, -2, -1, 0, 1, 2, 3)
+        )
+        assert best < zero_sad
+
+    def test_frames_change(self):
+        clip = video_clip(64, 48, frames=2)
+        assert not np.array_equal(clip[0], clip[1])
+
+
+class TestSpeech:
+    def test_length_and_dtype(self):
+        s = speech_signal(640)
+        assert len(s) == 640
+        assert s.dtype == np.int16
+
+    def test_deterministic(self):
+        assert np.array_equal(speech_signal(seed=2), speech_signal(seed=2))
+
+    def test_amplitude_reasonable(self):
+        s = speech_signal(640).astype(np.int64)
+        assert 500 < np.abs(s).max() < 32768
+
+    def test_has_periodicity(self):
+        """Speech-like signals must show pitch correlation for LTP."""
+        s = speech_signal(640).astype(np.float64)
+        seg = s[200:360]
+        best = max(
+            float(np.dot(seg, s[200 - lag : 360 - lag]))
+            for lag in range(40, 121)
+        )
+        energy = float(np.dot(seg, seg))
+        assert best > 0.2 * energy

@@ -6,27 +6,27 @@ are port-bound (the memory-heavy ones) and which are issue-bound.
 """
 
 from repro.experiments.report import render_table
-from repro.kernels.base import execute
-from repro.kernels.registry import KERNELS
-from repro.timing.config import get_config, with_overrides
-from repro.timing.core import CoreModel
+from repro.sweep import SweepPoint, default_jobs, sweep
 
 KERNELS_UNDER_TEST = ("motion1", "ycc", "idct", "ltpfilt")
 PORTS = (1, 2, 4, 8)
 
 
-def _cycles(kernel, ports):
-    run = execute(KERNELS[kernel], "mmx128", seed=0)
-    config = with_overrides(get_config("mmx128", 8), mem_ports=ports)
-    model = CoreModel(config)
-    model.hier.warm(run.trace)
-    return model.run(run.trace).cycles
+def _point(kernel, ports):
+    return SweepPoint(
+        kernel=kernel, version="mmx128", way=8,
+        core_overrides={"mem_ports": ports},
+    )
 
 
 def test_ablation_l1_ports(benchmark):
     def work():
+        report = sweep(
+            [_point(k, p) for k in KERNELS_UNDER_TEST for p in PORTS],
+            jobs=default_jobs(),
+        )
         return {
-            kernel: {p: _cycles(kernel, p) for p in PORTS}
+            kernel: {p: report[_point(kernel, p)].result.cycles for p in PORTS}
             for kernel in KERNELS_UNDER_TEST
         }
 

@@ -8,27 +8,30 @@ vector length the kernels can reach, §II-B).
 """
 
 from repro.experiments.report import render_table
-from repro.kernels.base import execute
-from repro.kernels.registry import KERNELS
-from repro.timing.config import get_config, with_overrides
-from repro.timing.core import CoreModel
+from repro.sweep import SweepPoint, default_jobs, sweep
 
 KERNELS_UNDER_TEST = ("idct", "motion1", "ycc", "h2v2", "ltppar")
 LANES = (1, 2, 4, 8, 16)
 
 
-def _cycles(kernel, lanes):
-    run = execute(KERNELS[kernel], "vmmx128", seed=0)
-    config = with_overrides(get_config("vmmx128", 2), lanes=lanes)
-    model = CoreModel(config)
-    model.hier.warm(run.trace)
-    return model.run(run.trace).cycles
+def _point(kernel, lanes):
+    return SweepPoint(
+        kernel=kernel, version="vmmx128", way=2,
+        core_overrides={"lanes": lanes},
+    )
 
 
 def test_ablation_lane_count(benchmark):
     def work():
+        report = sweep(
+            [_point(k, lanes) for k in KERNELS_UNDER_TEST for lanes in LANES],
+            jobs=default_jobs(),
+        )
         return {
-            kernel: {lanes: _cycles(kernel, lanes) for lanes in LANES}
+            kernel: {
+                lanes: report[_point(kernel, lanes)].result.cycles
+                for lanes in LANES
+            }
             for kernel in KERNELS_UNDER_TEST
         }
 

@@ -7,10 +7,7 @@ complexity/performance trade-off the paper's §II-C argues about.
 """
 
 from repro.experiments.report import render_table
-from repro.kernels.base import execute
-from repro.kernels.registry import KERNELS
-from repro.timing.config import get_config, with_overrides
-from repro.timing.core import CoreModel
+from repro.sweep import SweepPoint, default_jobs, sweep
 
 SWEEP = {
     "mmx64": (34, 40, 48, 64, 96),
@@ -18,19 +15,24 @@ SWEEP = {
 }
 
 
-def _cycles(kernel, isa, phys):
-    run = execute(KERNELS[kernel], isa, seed=0)
-    config = with_overrides(get_config(isa, 2), phys_simd_regs=phys)
-    model = CoreModel(config)
-    model.hier.warm(run.trace)
-    return model.run(run.trace).cycles
+def _point(isa, phys):
+    return SweepPoint(
+        kernel="idct", version=isa, way=2,
+        core_overrides={"phys_simd_regs": phys},
+    )
 
 
 def test_ablation_physical_registers(benchmark):
     def work():
+        report = sweep(
+            [_point(isa, phys) for isa, axis in SWEEP.items() for phys in axis],
+            jobs=default_jobs(),
+        )
         return {
-            isa: {phys: _cycles("idct", isa, phys) for phys in sweep}
-            for isa, sweep in SWEEP.items()
+            isa: {
+                phys: report[_point(isa, phys)].result.cycles for phys in axis
+            }
+            for isa, axis in SWEEP.items()
         }
 
     data = benchmark.pedantic(work, iterations=1, rounds=1)

@@ -5,38 +5,37 @@ width.  Disabling the fast path (every access at element rate) shows how
 much of the VMMX advantage on unit-stride kernels comes from it.
 """
 
-import dataclasses
-
 from repro.experiments.report import render_table
-from repro.kernels.base import execute
-from repro.kernels.registry import KERNELS
-from repro.timing.config import get_config, get_mem_config
-from repro.timing.core import CoreModel
+from repro.sweep import SweepPoint, default_jobs, sweep
 
 UNIT_STRIDE_KERNELS = ("ycc", "h2v2", "ltpfilt", "idct")
 STRIDED_KERNELS = ("motion1", "comp")
 
+#: Disabling the fast path: every access at element rate.
+SLOW_MEM = {"l2.port_bytes": 8, "strided_rows_per_cycle": 1.0}
 
-def _cycles(kernel, isa, fast_path):
-    run = execute(KERNELS[kernel], isa, seed=0)
-    mem = get_mem_config(2)
-    if not fast_path:
-        narrow_l2 = dataclasses.replace(mem.l2, port_bytes=8)
-        mem = dataclasses.replace(mem, l2=narrow_l2, strided_rows_per_cycle=1.0)
-    model = CoreModel(get_config(isa, 2), mem)
-    model.hier.warm(run.trace)
-    return model.run(run.trace).cycles
+
+def _point(kernel, fast_path):
+    return SweepPoint(
+        kernel=kernel, version="vmmx128", way=2,
+        mem_overrides=None if fast_path else SLOW_MEM,
+    )
 
 
 def test_ablation_vector_cache_fast_path(benchmark):
     def work():
-        out = {}
-        for kernel in UNIT_STRIDE_KERNELS + STRIDED_KERNELS:
-            out[kernel] = {
-                "fast": _cycles(kernel, "vmmx128", True),
-                "slow": _cycles(kernel, "vmmx128", False),
+        kernels = UNIT_STRIDE_KERNELS + STRIDED_KERNELS
+        report = sweep(
+            [_point(k, fast) for k in kernels for fast in (True, False)],
+            jobs=default_jobs(),
+        )
+        return {
+            kernel: {
+                "fast": report[_point(kernel, True)].result.cycles,
+                "slow": report[_point(kernel, False)].result.cycles,
             }
-        return out
+            for kernel in kernels
+        }
 
     data = benchmark.pedantic(work, iterations=1, rounds=1)
     rows = [

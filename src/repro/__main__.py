@@ -1,16 +1,19 @@
 """Jinks-style command-line simulator driver.
 
-Run any kernel version on any modeled processor::
+Run any kernel version on any modeled processor, or sweep a whole
+design-space grid in parallel with a persistent result store::
 
     python -m repro kernel motion1 --isa vmmx128 --way 2
     python -m repro kernel idct --isa mmx64 --way 8 --listing 20
+    python -m repro sweep --grid fig4 --jobs 4
+    python -m repro sweep --kernels idct,ycc --isas mmx64,vmmx128 --ways 2,8
     python -m repro list
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
+import os
 
 
 def _cmd_list(_args) -> int:
@@ -64,6 +67,105 @@ def _cmd_kernel(args) -> int:
     return 0 if run.correct else 2
 
 
+def _split(text: str):
+    return tuple(part for part in text.replace(",", " ").split() if part)
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments.report import render_table
+    from repro.kernels.registry import KERNELS
+    from repro.sweep import GRIDS, dedupe, default_jobs, grid, sweep
+    from repro.timing.config import ISAS, WAYS
+
+    if args.store is not None:
+        # The store is selected through the environment so worker
+        # processes and nested simulate_kernel calls agree on it.
+        os.environ["REPRO_STORE"] = args.store
+
+    if args.grid:
+        if args.grid not in GRIDS:
+            print(f"unknown grid {args.grid!r}; available: {', '.join(GRIDS)}")
+            return 1
+        overridden = [
+            flag
+            for flag, value, default in (
+                ("--kernels", args.kernels, "all"),
+                ("--isas", args.isas, "all"),
+                ("--ways", args.ways, "all"),
+                ("--seeds", args.seeds, "0"),
+            )
+            if value != default
+        ]
+        if overridden:
+            print(
+                f"--grid {args.grid} defines its own axes; "
+                f"drop {', '.join(overridden)} or spell the grid out explicitly"
+            )
+            return 1
+        points = GRIDS[args.grid]()
+    else:
+        kernels = _split(args.kernels) if args.kernels != "all" else tuple(KERNELS)
+        isas = _split(args.isas) if args.isas != "all" else ISAS
+        try:
+            ways = (
+                tuple(int(w) for w in _split(args.ways))
+                if args.ways != "all" else WAYS
+            )
+            seeds = tuple(int(s) for s in _split(args.seeds))
+        except ValueError as exc:
+            print(f"--ways/--seeds take comma-separated integers: {exc}")
+            return 1
+        bad_ways = [w for w in ways if w not in WAYS]
+        if bad_ways:
+            print(
+                f"no modeled machine is {'/'.join(str(w) for w in bad_ways)}-way; "
+                f"available widths: {', '.join(str(w) for w in WAYS)}"
+            )
+            return 1
+        unknown = [k for k in kernels if k not in KERNELS]
+        if unknown:
+            print(f"unknown kernel(s): {', '.join(unknown)}; "
+                  "try: python -m repro list")
+            return 1
+        bad = [i for i in isas if i not in ISAS]
+        if bad:
+            print(f"unknown isa(s): {', '.join(bad)}; available: {', '.join(ISAS)}")
+            return 1
+        points = grid(kernels, isas, ways, seeds)
+    points = dedupe(points)
+
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    total = len(points)
+
+    def progress(done, _total, point, source):
+        if not args.quiet:
+            print(f"[{done}/{total}] {point.label:40s} {source}")
+
+    report = sweep(points, jobs=jobs, progress=progress)
+    if not args.quiet:
+        rows = [
+            (
+                point.label,
+                report[point].result.cycles,
+                report[point].result.instructions,
+                round(report[point].cycles_per_invocation, 1),
+                source,
+            )
+            for point, source in zip(report.points, report.sources)
+        ]
+        print()
+        print(
+            render_table(
+                ("point", "cycles", "instructions", "cycles/invocation", "source"),
+                rows,
+                title="Sweep results",
+            )
+        )
+        print()
+    print(report.summary())
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -76,9 +178,31 @@ def main(argv=None) -> int:
     kernel.add_argument("--seed", type=int, default=0)
     kernel.add_argument("--listing", type=int, default=0, metavar="N",
                         help="print the first N trace records")
+    sweep = sub.add_parser(
+        "sweep", help="evaluate a design-space grid (parallel, store-backed)"
+    )
+    sweep.add_argument("--grid", default=None, metavar="NAME",
+                       help="named grid: fig4, fig5, fig6, fig7 or full")
+    sweep.add_argument("--kernels", default="all",
+                       help="comma-separated kernel names (default: all)")
+    sweep.add_argument("--isas", default="all",
+                       help="comma-separated ISA versions (default: all)")
+    sweep.add_argument("--ways", default="all",
+                       help="comma-separated machine widths (default: 2,4,8)")
+    sweep.add_argument("--seeds", default="0",
+                       help="comma-separated workload seeds (default: 0)")
+    sweep.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="parallel worker processes (default: $REPRO_JOBS or 1)")
+    sweep.add_argument("--store", default=None, metavar="PATH",
+                       help="result-store directory (default: $REPRO_STORE or "
+                            "~/.cache/repro-sweep; 'off' disables)")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="only print the final summary line")
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "kernel" and args.isa == "scalar":
         print("timing configs exist for SIMD ISAs; use --isa mmx64/.../vmmx128")
         return 1

@@ -106,13 +106,51 @@ def make_scalar_trace(
 
 @lru_cache(maxsize=None)
 def scalar_ipc(way: int, smem_frac_pct: int, sctrl_frac_pct: int) -> float:
-    """IPC of the synthetic scalar mix on a ``way``-wide core (cached)."""
-    trace = make_scalar_trace(smem_frac_pct / 100.0, sctrl_frac_pct / 100.0)
+    """IPC of the synthetic scalar mix on a ``way``-wide core.
+
+    Cached in process and persisted in the result store (keyed by the
+    resolved core configuration and the simulator code digest), so warm
+    runs of the application experiments skip the synthetic-trace
+    simulations entirely.
+    """
+    import dataclasses
+
+    from repro.sweep.store import (
+        default_store,
+        load_payload,
+        record_key,
+        save_payload,
+    )
+
     config = get_config("mmx64", way)  # scalar resources depend only on way
+    store = default_store()
+    key = None
+    if store is not None:
+        key = record_key(
+            "scalar-ipc",
+            {
+                "way": way,
+                "smem_pct": smem_frac_pct,
+                "sctrl_pct": sctrl_frac_pct,
+                "trace_len": SCALAR_TRACE_LEN,
+                "config": dataclasses.asdict(config),
+            },
+        )
+        stored = load_payload(store, key)
+        if stored is not None:
+            return float(stored["ipc"])
+    trace = make_scalar_trace(smem_frac_pct / 100.0, sctrl_frac_pct / 100.0)
     model = CoreModel(config)
     model.hier.warm(trace)
     result = model.run(trace)
+    if key is not None:
+        save_payload(store, "scalar-ipc", key, {"ipc": result.ipc})
     return result.ipc
+
+
+def clear_scalar_ipc_memo() -> None:
+    """Drop the in-process scalar-IPC memo (the store is untouched)."""
+    scalar_ipc.cache_clear()
 
 
 @dataclass

@@ -1,5 +1,11 @@
 """Experiment harness regenerating every table and figure of the paper."""
 
+from repro.experiments.artifacts import (
+    ARTIFACT_DATA,
+    artifact_data,
+    artifact_json,
+    canonicalise,
+)
 from repro.experiments.figures import (
     fig4_data,
     fig4_render,
@@ -34,6 +40,7 @@ EXPERIMENTS = {
 }
 
 __all__ = [
+    "ARTIFACT_DATA", "artifact_data", "artifact_json", "canonicalise",
     "EXPERIMENTS",
     "fig4_data", "fig4_render", "fig5_data", "fig5_render",
     "fig6_data", "fig6_render", "fig7_data", "fig7_render",

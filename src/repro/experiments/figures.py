@@ -4,15 +4,28 @@ Each ``figN_data`` function returns the numbers behind the paper's figure
 (speed-ups, cycle breakdowns, instruction counts) and each
 ``figN_render`` formats them next to the paper's reported values where
 the paper gives any.
+
+Each data function first *prefetches* its kernel-timing grid through the
+sweep engine -- ``jobs`` (default ``REPRO_JOBS``) kernel simulations run
+in parallel on a cold store, and a warm store answers every point from
+disk -- before composing the figure exactly as before.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.apps import APP_NAMES, app_instruction_counts, app_timing, run_app_profile
 from repro.experiments.report import render_table
 from repro.kernels.registry import FIG4_KERNELS
+from repro.sweep import (
+    default_jobs,
+    fig4_points,
+    fig5_points,
+    fig6_points,
+    fig7_points,
+    sweep,
+)
 from repro.timing.config import ISAS, WAYS
 from repro.timing.simulator import simulate_kernel
 
@@ -29,8 +42,9 @@ FIG4_PAPER = {
 }
 
 
-def fig4_data(way: int = 2) -> Dict[str, Dict[str, float]]:
+def fig4_data(way: int = 2, jobs: Optional[int] = None) -> Dict[str, Dict[str, float]]:
     """Kernel speed-ups over the 2-way MMX64 baseline (Fig. 4)."""
+    sweep(fig4_points(way), jobs=jobs if jobs is not None else default_jobs())
     out: Dict[str, Dict[str, float]] = {}
     for kernel in FIG4_KERNELS + ("fdct",):
         base = simulate_kernel(kernel, "mmx64", 2).result.cycles
@@ -62,8 +76,9 @@ def fig4_render() -> str:
     )
 
 
-def fig5_data() -> Dict[str, Dict[int, Dict[str, float]]]:
+def fig5_data(jobs: Optional[int] = None) -> Dict[str, Dict[int, Dict[str, float]]]:
     """Full-application speed-ups (Fig. 5), plus the 'average' panel."""
+    sweep(fig5_points(), jobs=jobs if jobs is not None else default_jobs())
     out: Dict[str, Dict[int, Dict[str, float]]] = {}
     for app in APP_NAMES:
         profile = run_app_profile(app)
@@ -102,8 +117,11 @@ def fig5_render() -> str:
     )
 
 
-def fig6_data(app: str = "jpegdec") -> Dict[int, Dict[str, Dict[str, float]]]:
+def fig6_data(
+    app: str = "jpegdec", jobs: Optional[int] = None
+) -> Dict[int, Dict[str, Dict[str, float]]]:
     """Scalar/vector cycle breakdown normalised to 2-way MMX64 = 100."""
+    sweep(fig6_points(app), jobs=jobs if jobs is not None else default_jobs())
     profile = run_app_profile(app)
     norm = app_timing(profile, "mmx64", 2).total_cycles / 100.0
     out: Dict[int, Dict[str, Dict[str, float]]] = {}
@@ -146,8 +164,9 @@ def fig6_render(app: str = "jpegdec") -> str:
     )
 
 
-def fig7_data() -> Dict[str, Dict[str, Dict[str, float]]]:
+def fig7_data(jobs: Optional[int] = None) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Dynamic instruction counts by category, normalised to MMX64 = 100."""
+    sweep(fig7_points(), jobs=jobs if jobs is not None else default_jobs())
     out: Dict[str, Dict[str, Dict[str, float]]] = {}
     for app in APP_NAMES:
         profile = run_app_profile(app)

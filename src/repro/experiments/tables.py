@@ -3,6 +3,13 @@
 Tables II-IV are configuration tables -- regenerating them from the
 registries proves the modelled system matches the paper's description.
 Table I additionally carries the register-file cost model results.
+
+The ``table*_data`` functions are registered (with the figures) in
+:mod:`repro.experiments.artifacts`, which the golden regression tests
+and ``python -m repro sweep`` consume; any change to the configuration
+registries therefore shows up as a golden diff *and*, through the sweep
+store's configuration fingerprints, re-addresses every affected
+simulation record.
 """
 
 from __future__ import annotations

@@ -1,0 +1,88 @@
+"""Design-space sweep engine with a persistent result store.
+
+The paper's evaluation is a sweep over kernel x version x way x
+configuration points.  This package makes that sweep a first-class
+object:
+
+* :mod:`repro.sweep.points` -- declarative axis specs and the named
+  grids behind each figure;
+* :mod:`repro.sweep.store` -- a content-addressed on-disk store keyed by
+  point + resolved-configuration fingerprint + simulator code digest;
+* :mod:`repro.sweep.engine` -- parallel execution over a process pool
+  with deterministic chunking, warm-starting from the store.
+
+``python -m repro sweep`` is the CLI front end.
+"""
+
+from repro.sweep.engine import (
+    SweepReport,
+    compute_point,
+    default_jobs,
+    point_key,
+    reset_simulation_count,
+    resolve_configs,
+    run_point,
+    simulation_count,
+    sweep,
+)
+from repro.sweep.points import (
+    GRIDS,
+    SweepPoint,
+    dedupe,
+    fig4_points,
+    fig5_points,
+    fig6_points,
+    fig7_points,
+    full_points,
+    grid,
+)
+from repro.sweep.store import (
+    ResultStore,
+    code_version,
+    config_fingerprint,
+    default_store,
+    stable_hash,
+)
+
+
+def clear_memory_caches() -> None:
+    """Forget every *in-process* memoised result (the store is untouched).
+
+    Used by tests to distinguish memory warmth from store warmth, and by
+    long-lived services to bound memory without losing the on-disk
+    records.
+    """
+    from repro.apps import appmodel, runner
+    from repro.timing import simulator
+
+    simulator.clear_kernel_memo()
+    runner.clear_profile_memo()
+    appmodel.clear_scalar_ipc_memo()
+
+
+__all__ = [
+    "GRIDS",
+    "ResultStore",
+    "SweepPoint",
+    "SweepReport",
+    "clear_memory_caches",
+    "code_version",
+    "compute_point",
+    "config_fingerprint",
+    "dedupe",
+    "default_jobs",
+    "default_store",
+    "fig4_points",
+    "fig5_points",
+    "fig6_points",
+    "fig7_points",
+    "full_points",
+    "grid",
+    "point_key",
+    "reset_simulation_count",
+    "resolve_configs",
+    "run_point",
+    "simulation_count",
+    "stable_hash",
+    "sweep",
+]

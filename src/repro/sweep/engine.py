@@ -1,0 +1,297 @@
+"""Parallel design-space sweep engine.
+
+:func:`sweep` takes a list of :class:`~repro.sweep.points.SweepPoint`,
+answers every point it can from the content-addressed result store, and
+simulates the rest -- serially for ``jobs=1``, or across a
+``concurrent.futures`` process pool with deterministic contiguous
+chunking otherwise.  Results are byte-identical regardless of ``jobs``
+because every point's simulation is independent and deterministic, and
+because both paths normalise results through the same JSON record form.
+
+The module also exposes :func:`run_point`, the store-aware single-point
+entry that :func:`repro.timing.simulator.simulate_kernel` routes
+through, and a simulation counter that tests (and the CLI summary) use
+to prove warm runs perform zero new simulations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sweep.points import SweepPoint, dedupe
+from repro.sweep.store import (
+    config_fingerprint,
+    default_store,
+    kernel_timing_from_dict,
+    kernel_timing_to_dict,
+    load_payload,
+    record_key,
+    save_payload,
+)
+from repro.timing.config import (
+    CoreConfig,
+    MemHierConfig,
+    get_config,
+    get_mem_config,
+)
+from repro.timing.simulator import KernelTiming, simulate_trace
+
+#: Sentinel distinguishing "use the default store" from "no store".
+_USE_DEFAULT = object()
+
+#: Total kernel simulations actually performed by this process (plus, for
+#: parallel sweeps, by its workers).  The warm-start tests assert this
+#: does not move.
+_SIM_COUNT = 0
+
+ProgressFn = Callable[[int, int, SweepPoint, str], None]
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (default 1: serial, in-process)."""
+    import os
+
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def simulation_count() -> int:
+    """How many kernel simulations have actually run (the cache-miss count)."""
+    return _SIM_COUNT
+
+
+def reset_simulation_count() -> None:
+    global _SIM_COUNT
+    _SIM_COUNT = 0
+
+
+def resolve_configs(point: SweepPoint) -> Tuple[CoreConfig, MemHierConfig]:
+    """The fully-resolved machine a point runs on, overrides applied."""
+    config = get_config(point.version, point.way)
+    if point.core_overrides:
+        config = dataclasses.replace(config, **dict(point.core_overrides))
+    mem = get_mem_config(point.way)
+    for dotted, value in point.mem_overrides:
+        head, _, rest = dotted.partition(".")
+        if rest:
+            level = dataclasses.replace(getattr(mem, head), **{rest: value})
+            mem = dataclasses.replace(mem, **{head: level})
+        else:
+            mem = dataclasses.replace(mem, **{head: value})
+    return config, mem
+
+
+def point_key(point: SweepPoint) -> str:
+    """Content address of a point's record.
+
+    Hashes the point itself, the *resolved* configuration (so editing a
+    Table III/IV constant re-addresses every affected record even though
+    the point spelling is unchanged) and the simulator code digest.
+    """
+    config, mem = resolve_configs(point)
+    return record_key(
+        "kernel-timing",
+        {"point": point.as_dict(), "config": config_fingerprint(config, mem)},
+    )
+
+
+def compute_point(point: SweepPoint) -> KernelTiming:
+    """Simulate one point unconditionally (no caches consulted)."""
+    from repro.kernels.base import execute
+    from repro.kernels.registry import KERNELS
+
+    global _SIM_COUNT
+    spec = KERNELS[point.kernel]
+    run = execute(spec, point.version, seed=point.seed)
+    if not run.correct:
+        raise AssertionError(
+            f"kernel {point.kernel}/{point.version} failed verification "
+            "during timing"
+        )
+    config, mem = resolve_configs(point)
+    result = simulate_trace(run.trace, config, mem)
+    _SIM_COUNT += 1
+    return KernelTiming(
+        kernel=point.kernel,
+        version=point.version,
+        way=point.way,
+        result=result,
+        batch=spec.batch,
+        seed=point.seed,
+    )
+
+
+def _normalise(timing: KernelTiming) -> KernelTiming:
+    """Round-trip through the record form.
+
+    Keeps serial and pooled execution structurally identical: every
+    result the engine hands out has passed through the exact JSON shape
+    the store persists.
+    """
+    return kernel_timing_from_dict(kernel_timing_to_dict(timing))
+
+
+def run_point(
+    point: SweepPoint, store: Any = _USE_DEFAULT
+) -> KernelTiming:
+    """Store-aware execution of one point (load, else simulate + save)."""
+    from repro.kernels.registry import KERNELS
+
+    if point.kernel not in KERNELS:
+        raise KeyError(point.kernel)
+    if store is _USE_DEFAULT:
+        store = default_store()
+    key = point_key(point) if store is not None else None
+    stored = load_payload(store, key) if key is not None else None
+    if stored is not None:
+        return kernel_timing_from_dict(stored)
+    payload = kernel_timing_to_dict(compute_point(point))
+    if key is not None:
+        save_payload(store, "kernel-timing", key, payload)
+    return kernel_timing_from_dict(payload)
+
+
+def _worker_chunk(points: Sequence[SweepPoint]) -> List[Dict[str, Any]]:
+    """Process-pool worker: simulate a contiguous chunk of cold points."""
+    return [kernel_timing_to_dict(compute_point(p)) for p in points]
+
+
+def _chunks(items: Sequence, jobs: int) -> List[Sequence]:
+    """Deterministic contiguous chunking, ~4 chunks per worker."""
+    if not items:
+        return []
+    size = max(1, -(-len(items) // (jobs * 4)))
+    return [items[i: i + size] for i in range(0, len(items), size)]
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one :func:`sweep` call."""
+
+    points: List[SweepPoint]
+    results: Dict[SweepPoint, KernelTiming]
+    simulated: int
+    cached: int
+    jobs: int
+    store_root: Optional[str] = None
+    #: Per-point provenance, parallel to ``points``: "store" or "sim".
+    sources: List[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.points)
+
+    def __getitem__(self, point: SweepPoint) -> KernelTiming:
+        return self.results[point]
+
+    def summary(self) -> str:
+        where = self.store_root or "<no store>"
+        return (
+            f"{self.total} points: {self.simulated} simulated, "
+            f"{self.cached} from store ({where}), jobs={self.jobs}"
+        )
+
+
+def sweep(
+    points: Sequence[SweepPoint],
+    jobs: int = 1,
+    store: Any = _USE_DEFAULT,
+    progress: Optional[ProgressFn] = None,
+) -> SweepReport:
+    """Evaluate every point, warm-starting from the store.
+
+    ``jobs=1`` runs inline; ``jobs>1`` distributes the *cache misses*
+    over a process pool in deterministic contiguous chunks.  Hits are
+    always served from the store in the calling process.  Results are
+    also published into :mod:`repro.timing.simulator`'s in-process memo
+    so the experiment code that follows a prefetch sweep hits memory,
+    not disk.
+    """
+    global _SIM_COUNT
+    if store is _USE_DEFAULT:
+        store = default_store()
+    points = dedupe(points)
+    total = len(points)
+    keys = [point_key(p) for p in points] if store is not None else [None] * total
+
+    results: Dict[SweepPoint, KernelTiming] = {}
+    sources: Dict[SweepPoint, str] = {}
+    misses: List[SweepPoint] = []
+    miss_keys: List[Optional[str]] = []
+    done = 0
+    for point, key in zip(points, keys):
+        stored = load_payload(store, key) if key is not None else None
+        if stored is not None:
+            results[point] = kernel_timing_from_dict(stored)
+            sources[point] = "store"
+            done += 1
+            if progress is not None:
+                progress(done, total, point, "store")
+        else:
+            misses.append(point)
+            miss_keys.append(key)
+
+    if misses:
+        if jobs > 1:
+            payloads = _pooled(misses, jobs)
+        else:
+            payloads = [kernel_timing_to_dict(compute_point(p)) for p in misses]
+        for point, key, payload in zip(misses, miss_keys, payloads):
+            if key is not None:
+                save_payload(store, "kernel-timing", key, payload)
+            results[point] = kernel_timing_from_dict(payload)
+            sources[point] = "sim"
+            done += 1
+            if progress is not None:
+                progress(done, total, point, "sim")
+
+    _publish_to_memo(results)
+    return SweepReport(
+        points=list(points),
+        results={p: results[p] for p in points},
+        simulated=len(misses),
+        cached=total - len(misses),
+        jobs=jobs,
+        store_root=str(store.root) if store is not None else None,
+        sources=[sources[p] for p in points],
+    )
+
+
+def _pooled(misses: Sequence[SweepPoint], jobs: int) -> List[Dict[str, Any]]:
+    """Run cold points through a process pool; fall back to inline."""
+    global _SIM_COUNT
+    import concurrent.futures
+    import multiprocessing
+
+    chunks = _chunks(list(misses), jobs)
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(jobs, len(chunks)), mp_context=context
+        ) as pool:
+            payloads: List[Dict[str, Any]] = []
+            for chunk_payloads in pool.map(_worker_chunk, chunks):
+                payloads.extend(chunk_payloads)
+    except (OSError, concurrent.futures.process.BrokenProcessPool):
+        # Pool creation can fail in constrained sandboxes; the sweep
+        # must still complete, just serially.
+        return [kernel_timing_to_dict(compute_point(p)) for p in misses]
+    _SIM_COUNT += len(misses)
+    return payloads
+
+
+def _publish_to_memo(results: Dict[SweepPoint, KernelTiming]) -> None:
+    from repro.timing import simulator
+
+    for point, timing in results.items():
+        if not point.core_overrides and not point.mem_overrides:
+            simulator.memo_put(
+                point.kernel, point.version, point.way, point.seed, timing
+            )

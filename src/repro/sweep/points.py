@@ -1,0 +1,182 @@
+"""Declarative design-space points and axis grids.
+
+A :class:`SweepPoint` names one experiment: a kernel version timed on one
+modeled machine, optionally with configuration overrides (the ablation
+axes).  Grids are enumerated deterministically -- the cartesian product
+in the order the axes are given -- so a sweep's point list, chunking and
+result order are reproducible regardless of how it executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+Overrides = Union[Mapping[str, Any], Sequence[Tuple[str, Any]], None]
+
+
+def _freeze_overrides(overrides: Overrides) -> Tuple[Tuple[str, Any], ...]:
+    """Normalise overrides to a sorted, hashable tuple of (name, value)."""
+    if not overrides:
+        return ()
+    if isinstance(overrides, Mapping):
+        items = overrides.items()
+    else:
+        items = tuple(overrides)
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of the design space: kernel x version x machine x seed.
+
+    ``core_overrides`` patches :class:`~repro.timing.config.CoreConfig`
+    fields (``lanes``, ``mem_ports``, ...); ``mem_overrides`` patches the
+    memory hierarchy with dotted paths into
+    :class:`~repro.timing.config.MemHierConfig` (``l2.port_bytes``,
+    ``strided_rows_per_cycle``, ...).
+    """
+
+    kernel: str
+    version: str
+    way: int
+    seed: int = 0
+    core_overrides: Tuple[Tuple[str, Any], ...] = ()
+    mem_overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "core_overrides", _freeze_overrides(self.core_overrides)
+        )
+        object.__setattr__(
+            self, "mem_overrides", _freeze_overrides(self.mem_overrides)
+        )
+
+    @property
+    def label(self) -> str:
+        """Short human-readable name used in progress reporting."""
+        text = f"{self.kernel}/{self.version}/{self.way}way"
+        if self.seed:
+            text += f"/seed{self.seed}"
+        for name, value in self.core_overrides + self.mem_overrides:
+            text += f"/{name}={value}"
+        return text
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-stable description of the point (for hashing/records)."""
+        return {
+            "kernel": self.kernel,
+            "version": self.version,
+            "way": self.way,
+            "seed": self.seed,
+            "core_overrides": [list(item) for item in self.core_overrides],
+            "mem_overrides": [list(item) for item in self.mem_overrides],
+        }
+
+
+def grid(
+    kernels: Sequence[str],
+    versions: Sequence[str],
+    ways: Sequence[int],
+    seeds: Sequence[int] = (0,),
+    core_overrides: Overrides = None,
+    mem_overrides: Overrides = None,
+) -> List[SweepPoint]:
+    """Deterministic cartesian product of the given axes.
+
+    The nesting order is kernel (outer) > version > way > seed (inner),
+    matching the presentation order of the paper's figures.
+    """
+    return [
+        SweepPoint(
+            kernel=kernel,
+            version=version,
+            way=way,
+            seed=seed,
+            core_overrides=core_overrides,
+            mem_overrides=mem_overrides,
+        )
+        for kernel in kernels
+        for version in versions
+        for way in ways
+        for seed in seeds
+    ]
+
+
+def dedupe(points: Iterable[SweepPoint]) -> List[SweepPoint]:
+    """Drop duplicate points, keeping first-occurrence order."""
+    seen = set()
+    out: List[SweepPoint] = []
+    for point in points:
+        if point not in seen:
+            seen.add(point)
+            out.append(point)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Named grids: the point sets behind the paper's artefacts.
+# ---------------------------------------------------------------------------
+
+
+def fig4_points(way: int = 2, seed: int = 0) -> List[SweepPoint]:
+    """Every kernel timing Fig. 4 reads (including the MMX64 baseline)."""
+    from repro.kernels.registry import FIG4_KERNELS
+    from repro.timing.config import ISAS
+
+    kernels = FIG4_KERNELS + ("fdct",)
+    points = grid(kernels, ("mmx64",), (2,), (seed,))
+    points += grid(kernels, ISAS, (way,), (seed,))
+    return dedupe(points)
+
+
+def app_points(apps: Sequence[str], ways: Sequence[int], seed: int = 0) -> List[SweepPoint]:
+    """Kernel timings needed to compose the given applications."""
+    from repro.kernels.registry import APP_KERNELS
+    from repro.timing.config import ISAS
+
+    kernels: List[str] = []
+    for app in apps:
+        for kernel in APP_KERNELS[app]:
+            if kernel not in kernels:
+                kernels.append(kernel)
+    points = grid(kernels, ("mmx64",), (2,), (seed,))
+    points += grid(kernels, ISAS, tuple(ways), (seed,))
+    return dedupe(points)
+
+
+def fig5_points(seed: int = 0) -> List[SweepPoint]:
+    from repro.apps.runner import APP_NAMES
+    from repro.timing.config import WAYS
+
+    return app_points(APP_NAMES, WAYS, seed=seed)
+
+
+def fig6_points(app: str = "jpegdec", seed: int = 0) -> List[SweepPoint]:
+    from repro.timing.config import WAYS
+
+    return app_points((app,), WAYS, seed=seed)
+
+
+def fig7_points(seed: int = 0) -> List[SweepPoint]:
+    from repro.apps.runner import APP_NAMES
+
+    return app_points(APP_NAMES, (2,), seed=seed)
+
+
+def full_points(seed: int = 0) -> List[SweepPoint]:
+    """All kernels on all twelve modeled machines."""
+    from repro.kernels.registry import KERNELS
+    from repro.timing.config import ISAS, WAYS
+
+    return grid(tuple(KERNELS), ISAS, WAYS, (seed,))
+
+
+#: Named grids accepted by ``python -m repro sweep --grid``.
+GRIDS = {
+    "fig4": fig4_points,
+    "fig5": fig5_points,
+    "fig6": fig6_points,
+    "fig7": fig7_points,
+    "full": full_points,
+}

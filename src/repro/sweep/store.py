@@ -1,0 +1,278 @@
+"""Content-addressed on-disk store for simulation results.
+
+Every record is one JSON file whose name is the SHA-256 of a canonical
+description of what produced it: the sweep point, the *resolved*
+processor/memory configuration (so a change to any Table III/IV constant
+or an ablation override yields a different address), and a digest of the
+simulator's own source code.  Repeated runs of the figures, tables,
+ablation benchmarks and the CLI therefore warm-start from disk, and a
+stale store can never serve results for code that no longer exists --
+the address simply misses.
+
+Layout::
+
+    <root>/records/<key[:2]>/<key>.json
+
+Writes go through a uniquely-named temporary file in the final directory
+followed by :func:`os.replace`, so concurrent writers (processes or
+threads) can race on the same key and readers still only ever observe
+complete records.  A record that fails to parse or fails its integrity
+check is treated as a miss and removed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+from repro.timing.config import CoreConfig, MemHierConfig
+from repro.timing.core import SimResult
+from repro.timing.simulator import KernelTiming
+
+#: Bump when the record format changes (invalidates every address).
+SCHEMA_VERSION = 1
+
+#: Environment variable selecting the store root.  An empty value (or
+#: ``off``/``none``/``0``) disables persistence entirely.
+STORE_ENV = "REPRO_STORE"
+
+#: Default store root when :data:`STORE_ENV` is unset.
+DEFAULT_STORE_ROOT = os.path.join("~", ".cache", "repro-sweep")
+
+
+def canonical_json(obj: Any) -> str:
+    """Canonical (sorted, compact) JSON used for hashing and equality."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def stable_hash(obj: Any) -> str:
+    """SHA-256 of the canonical JSON form (stable across processes)."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of every source file that can change simulation results.
+
+    Covers the ISA/emulation machines, kernels, workloads, hardware
+    models and the timing model -- not the experiment composition layer,
+    which only *reads* stored results.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    digest.update(f"schema={SCHEMA_VERSION}".encode())
+    for package in ("isa", "emu", "kernels", "workloads", "hw", "timing", "apps"):
+        base = root / package
+        for path in sorted(base.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def config_fingerprint(config: CoreConfig, mem: MemHierConfig) -> str:
+    """Stable hash of one fully-resolved machine description."""
+    return stable_hash(
+        {"core": dataclasses.asdict(config), "mem": dataclasses.asdict(mem)}
+    )
+
+
+def record_key(kind: str, identity: Dict[str, Any]) -> str:
+    """Content address for one record.
+
+    Every record kind shares this construction, so the schema-version
+    and code-digest invalidation rules cannot drift apart between the
+    kernel-timing, app-profile and scalar-ipc call sites.
+    """
+    address = {"kind": kind, "schema": SCHEMA_VERSION, "code": code_version()}
+    address.update(identity)
+    return stable_hash(address)
+
+
+def load_payload(store: Optional["ResultStore"], key: str) -> Optional[Any]:
+    """The stored payload under ``key``, or None (store may be absent)."""
+    if store is None:
+        return None
+    record = store.load(key)
+    return None if record is None else record["payload"]
+
+
+def save_payload(
+    store: Optional["ResultStore"], kind: str, key: str, payload: Any
+) -> None:
+    """Persist one payload (no-op without a store)."""
+    if store is not None:
+        store.save(key, {"kind": kind, "payload": payload})
+
+
+# ---------------------------------------------------------------------------
+# Serialisation of the simulation dataclasses.
+# ---------------------------------------------------------------------------
+
+
+def sim_result_to_dict(result: SimResult) -> Dict[str, Any]:
+    return {
+        "config_name": result.config_name,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "cat_instructions": dict(result.cat_instructions),
+        "cat_cycles": dict(result.cat_cycles),
+        "branch_lookups": result.branch_lookups,
+        "branch_mispredicts": result.branch_mispredicts,
+        "l1_accesses": result.l1_accesses,
+        "l1_misses": result.l1_misses,
+        "l2_accesses": result.l2_accesses,
+        "l2_misses": result.l2_misses,
+    }
+
+
+def sim_result_from_dict(data: Dict[str, Any]) -> SimResult:
+    return SimResult(
+        config_name=data["config_name"],
+        cycles=data["cycles"],
+        instructions=data["instructions"],
+        cat_instructions=dict(data["cat_instructions"]),
+        cat_cycles=dict(data["cat_cycles"]),
+        branch_lookups=data["branch_lookups"],
+        branch_mispredicts=data["branch_mispredicts"],
+        l1_accesses=data["l1_accesses"],
+        l1_misses=data["l1_misses"],
+        l2_accesses=data["l2_accesses"],
+        l2_misses=data["l2_misses"],
+    )
+
+
+def kernel_timing_to_dict(timing: KernelTiming) -> Dict[str, Any]:
+    return {
+        "kernel": timing.kernel,
+        "version": timing.version,
+        "way": timing.way,
+        "seed": timing.seed,
+        "batch": timing.batch,
+        "result": sim_result_to_dict(timing.result),
+    }
+
+
+def kernel_timing_from_dict(data: Dict[str, Any]) -> KernelTiming:
+    return KernelTiming(
+        kernel=data["kernel"],
+        version=data["version"],
+        way=data["way"],
+        result=sim_result_from_dict(data["result"]),
+        batch=data["batch"],
+        seed=data.get("seed", 0),
+    )
+
+
+class ResultStore:
+    """Content-addressed JSON store, one record per file."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(os.path.expanduser(str(root)))
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.root)!r})"
+
+    def path_for(self, key: str) -> Path:
+        return self.root / "records" / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the record stored under ``key``, or None.
+
+        Corrupted records (truncated writes from killed processes, disk
+        faults) are removed and reported as misses so the caller simply
+        recomputes them.
+        """
+        path = self.path_for(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            # UnicodeDecodeError is a ValueError: binary corruption is
+            # quarantined exactly like textual truncation.
+            record = json.loads(raw.decode("utf-8"))
+            if not isinstance(record, dict) or record.get("key") != key:
+                raise ValueError("record integrity check failed")
+            record["payload"]  # noqa: B018 -- presence check
+        except (ValueError, KeyError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return record
+
+    def save(self, key: str, record: Dict[str, Any]) -> None:
+        """Atomically persist ``record`` under ``key`` (best effort).
+
+        The temporary file lives in the final directory so the
+        :func:`os.replace` is within one filesystem and atomic; a failed
+        write never leaves a partial record behind.
+        """
+        record = dict(record)
+        record["key"] = key
+        path = self.path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(record, handle)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # Persistence is an optimisation; an unwritable store must
+            # never take the simulation down with it.
+            return
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_keys())
+
+    def iter_keys(self) -> Iterator[str]:
+        records = self.root / "records"
+        if not records.is_dir():
+            return
+        for shard in sorted(records.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                yield path.stem
+
+
+_DEFAULT_STORE: Optional[ResultStore] = None
+
+
+def default_store() -> Optional[ResultStore]:
+    """The process-wide store selected by :data:`STORE_ENV`.
+
+    Re-reads the environment on every call so tests (and the CLI's
+    ``--store`` flag, which sets the variable) can redirect it.
+    """
+    global _DEFAULT_STORE
+    env = os.environ.get(STORE_ENV)
+    if env is not None and env.strip().lower() in ("", "0", "off", "none"):
+        return None
+    root = os.path.expanduser(env if env is not None else DEFAULT_STORE_ROOT)
+    if _DEFAULT_STORE is None or str(_DEFAULT_STORE.root) != root:
+        _DEFAULT_STORE = ResultStore(root)
+    return _DEFAULT_STORE

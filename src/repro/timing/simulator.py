@@ -2,18 +2,21 @@
 
 ``simulate_kernel`` is the workhorse of the experiment harness: it runs a
 kernel version through the emulation machine to obtain its dynamic trace,
-then times that trace on a processor configuration.  Results are memoised
-because the application-level experiments re-use kernel timings heavily.
+then times that trace on a processor configuration.  Results are cached
+at two levels: a small bounded in-process memo (recently used timings
+stay hot without unbounded growth), backed by the content-addressed
+on-disk store of :mod:`repro.sweep.store` so results survive the process
+and are shared with parallel sweeps, benchmarks and the CLI.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.isa.trace import Trace
-from repro.timing.config import CoreConfig, MemHierConfig, get_config
+from repro.timing.config import CoreConfig, MemHierConfig
 from repro.timing.core import CoreModel, SimResult
 
 
@@ -44,6 +47,10 @@ class KernelTiming:
     way: int
     result: SimResult
     batch: int
+    #: Workload seed the batch was generated from.  Recorded so timings
+    #: from different seeds are distinguishable records (previously two
+    #: seeds produced indistinguishable objects -- a silent collision).
+    seed: int = 0
 
     @property
     def cycles_per_invocation(self) -> float:
@@ -54,7 +61,43 @@ class KernelTiming:
         return self.result.instructions / self.batch
 
 
-@lru_cache(maxsize=None)
+#: Bounded in-process memo of recently used kernel timings.  The store
+#: is the system of record; this layer only saves the disk round-trip
+#: for the hot working set of an experiment run.
+_MEMO: "OrderedDict[Tuple[str, str, int, int], KernelTiming]" = OrderedDict()
+_MEMO_MAXSIZE = 512
+
+
+def set_memo_maxsize(size: int) -> int:
+    """Resize the in-process memo; returns the previous bound."""
+    global _MEMO_MAXSIZE
+    previous = _MEMO_MAXSIZE
+    _MEMO_MAXSIZE = max(1, int(size))
+    while len(_MEMO) > _MEMO_MAXSIZE:
+        _MEMO.popitem(last=False)
+    return previous
+
+
+def memo_size() -> int:
+    return len(_MEMO)
+
+
+def clear_kernel_memo() -> None:
+    """Drop every in-process kernel timing (the on-disk store remains)."""
+    _MEMO.clear()
+
+
+def memo_put(
+    kernel: str, version: str, way: int, seed: int, timing: KernelTiming
+) -> None:
+    """Publish one timing into the memo (used by the sweep engine)."""
+    key = (kernel, version, way, seed)
+    _MEMO[key] = timing
+    _MEMO.move_to_end(key)
+    while len(_MEMO) > _MEMO_MAXSIZE:
+        _MEMO.popitem(last=False)
+
+
 def simulate_kernel(
     kernel: str, version: str, way: int, seed: int = 0
 ) -> KernelTiming:
@@ -62,19 +105,24 @@ def simulate_kernel(
 
     The baseline ISA of a configuration is given by ``version`` (the
     paper couples ISA version and hardware: an mmx128 binary runs on the
-    mmx128 machine of that width).
+    mmx128 machine of that width).  Routed through the result store: a
+    warm store answers without re-simulating.
     """
-    from repro.kernels.base import execute
-    from repro.kernels.registry import KERNELS
+    key = (kernel, version, way, seed)
+    hit = _MEMO.get(key)
+    if hit is not None:
+        _MEMO.move_to_end(key)
+        return hit
+    # Imported lazily: repro.sweep depends on this module for the
+    # KernelTiming record type.
+    from repro.sweep.engine import run_point
+    from repro.sweep.points import SweepPoint
 
-    spec = KERNELS[kernel]
-    run = execute(spec, version, seed=seed)
-    if not run.correct:
-        raise AssertionError(
-            f"kernel {kernel}/{version} failed verification during timing"
-        )
-    config = get_config(version, way)
-    result = simulate_trace(run.trace, config)
-    return KernelTiming(
-        kernel=kernel, version=version, way=way, result=result, batch=spec.batch
-    )
+    timing = run_point(SweepPoint(kernel=kernel, version=version, way=way, seed=seed))
+    memo_put(kernel, version, way, seed, timing)
+    return timing
+
+
+#: Backwards-compatible spelling from the ``lru_cache`` era; note it only
+#: clears the in-process layer, not the on-disk store.
+simulate_kernel.cache_clear = clear_kernel_memo

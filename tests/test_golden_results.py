@@ -1,0 +1,84 @@
+"""Golden-value regression tests for the eight paper artefacts.
+
+Every ``fig4``-``fig7`` / ``table1``-``table4`` data structure is pinned
+byte-for-byte against a checked-in JSON fixture under ``tests/goldens/``.
+Any change to the simulator, the kernels, the configurations or the
+sweep machinery that moves a single number fails here -- which is the
+point: the sweep engine is a pure execution substrate and must change
+no results.
+
+The module runs against its *own* empty result store (so "cold" really
+means cold), then re-derives the figures purely from the populated store
+with every in-process cache dropped and asserts zero new simulations --
+the warm-start guarantee.
+
+Regenerating the fixtures (after an intentional model change)::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_results.py --regen-goldens
+"""
+
+import pathlib
+
+import pytest
+
+from repro import sweep as sweeplib
+from repro.experiments import ARTIFACT_DATA, artifact_json
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+#: Cheap config-only artefacts first, then the simulation-heavy figures
+#: in paper order (also the order the module store warms up in).
+ARTIFACTS = ("table1", "table2", "table3", "table4", "fig4", "fig5", "fig6", "fig7")
+
+
+@pytest.fixture(scope="module")
+def module_store(tmp_path_factory):
+    """An isolated, initially-empty result store for this module."""
+    mp = pytest.MonkeyPatch()
+    store_dir = tmp_path_factory.mktemp("golden-store")
+    mp.setenv("REPRO_STORE", str(store_dir))
+    sweeplib.clear_memory_caches()
+    yield store_dir
+    mp.undo()
+    sweeplib.clear_memory_caches()
+
+
+def test_artifact_registry_complete():
+    assert set(ARTIFACT_DATA) == set(ARTIFACTS)
+
+
+@pytest.mark.parametrize("name", ARTIFACTS)
+def test_artifact_matches_golden_cold(name, module_store, request):
+    """Each artefact reproduces its fixture exactly, computed cold."""
+    text = artifact_json(name)
+    path = GOLDEN_DIR / f"{name}.json"
+    if request.config.getoption("--regen-goldens"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text)
+        pytest.skip(f"regenerated {path.name}")
+    assert path.is_file(), (
+        f"missing fixture {path}; generate it with "
+        "PYTHONPATH=src python -m pytest tests/test_golden_results.py --regen-goldens"
+    )
+    assert text == path.read_text(), (
+        f"{name} deviates from its golden fixture; if the model change is "
+        "intentional, rerun with --regen-goldens and review the diff"
+    )
+
+
+def test_artifacts_reproduce_warm_with_zero_simulations(module_store):
+    """The store alone replays every figure -- no kernel re-simulation."""
+    sweeplib.clear_memory_caches()
+    before = sweeplib.simulation_count()
+    for name in ARTIFACTS:
+        assert artifact_json(name) == (GOLDEN_DIR / f"{name}.json").read_text()
+    assert sweeplib.simulation_count() == before
+
+
+def test_fig4_grid_warm_sweep_is_pure_store(module_store):
+    """A warm sweep over the full Fig. 4 grid performs zero simulations."""
+    sweeplib.clear_memory_caches()
+    report = sweeplib.sweep(sweeplib.fig4_points())
+    assert report.simulated == 0
+    assert report.cached == report.total == len(sweeplib.fig4_points())
+    assert set(report.sources) == {"store"}

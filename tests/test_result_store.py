@@ -1,0 +1,236 @@
+"""Unit tests for the content-addressed result store.
+
+Covers the properties the sweep engine's correctness rests on: stable
+addressing across process restarts, invalidation when the configuration
+fingerprint (or code version) changes, recovery from corrupted records,
+and safety under concurrent writers.
+"""
+
+import concurrent.futures
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.sweep import (
+    ResultStore,
+    SweepPoint,
+    config_fingerprint,
+    default_store,
+    point_key,
+    resolve_configs,
+    run_point,
+    simulation_count,
+)
+from repro.sweep.store import canonical_json, code_version, stable_hash
+from repro.timing.config import get_config, get_mem_config, with_overrides
+
+POINT = SweepPoint("ycc", "mmx64", 2)
+
+
+class TestStableAddressing:
+    def test_canonical_json_is_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_stable_hash_is_sha256_of_canonical_json(self):
+        # Pinned literal: the scheme must never drift silently.
+        assert stable_hash({"a": 1}) == (
+            "015abd7f5cc57a2dd94b7590f04ad8084273905ee33ec5cebeae62276a97f862"
+        )
+
+    def test_key_stable_across_process_restarts(self):
+        """A fresh interpreter (fresh PYTHONHASHSEED) derives the same key."""
+        expected = point_key(POINT)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = "random"
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.sweep import SweepPoint, point_key;"
+                "print(point_key(SweepPoint('ycc', 'mmx64', 2)))",
+            ],
+            capture_output=True, text=True, env=env, check=True,
+        ).stdout.strip()
+        assert out == expected
+
+    def test_key_covers_every_axis(self):
+        keys = {
+            point_key(SweepPoint("ycc", "mmx64", 2)),
+            point_key(SweepPoint("ycc", "mmx64", 2, seed=1)),
+            point_key(SweepPoint("ycc", "mmx64", 4)),
+            point_key(SweepPoint("ycc", "mmx128", 2)),
+            point_key(SweepPoint("idct", "mmx64", 2)),
+        }
+        assert len(keys) == 5
+
+    def test_override_spelling_is_canonical(self):
+        """dict / tuple / ordering spellings address the same record."""
+        a = SweepPoint("ycc", "mmx64", 2, core_overrides={"lanes": 2, "mem_ports": 1})
+        b = SweepPoint(
+            "ycc", "mmx64", 2,
+            core_overrides=(("mem_ports", 1), ("lanes", 2)),
+        )
+        assert point_key(a) == point_key(b)
+
+
+class TestInvalidation:
+    def test_config_fingerprint_changes_key(self):
+        base = point_key(POINT)
+        ablated = point_key(
+            SweepPoint("ycc", "mmx64", 2, core_overrides={"mem_ports": 4})
+        )
+        assert base != ablated
+
+    def test_fingerprint_tracks_resolved_values(self):
+        config, mem = resolve_configs(POINT)
+        assert config_fingerprint(config, mem) != config_fingerprint(
+            with_overrides(config, rob_size=config.rob_size * 2), mem
+        )
+
+    def test_mem_fingerprint_tracks_nested_values(self):
+        config = get_config("vmmx128", 2)
+        mem = get_mem_config(2)
+        ablated, mem2 = resolve_configs(
+            SweepPoint("ycc", "vmmx128", 2, mem_overrides={"l2.port_bytes": 8})
+        )
+        assert mem2.l2.port_bytes == 8
+        assert config_fingerprint(config, mem) != config_fingerprint(config, mem2)
+
+    def test_key_depends_on_code_version(self, monkeypatch):
+        before = point_key(POINT)
+        monkeypatch.setattr(
+            "repro.sweep.store.code_version", lambda: "deadbeef"
+        )
+        assert point_key(POINT) != before
+
+    def test_code_version_is_cached_and_hex(self):
+        assert code_version() == code_version()
+        int(code_version(), 16)
+        assert len(code_version()) == 64
+
+
+class TestRecords:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = stable_hash({"n": 1})
+        store.save(key, {"kind": "test", "payload": {"cycles": 42}})
+        record = store.load(key)
+        assert record["payload"] == {"cycles": 42}
+        assert record["key"] == key
+        assert key in store and len(store) == 1
+
+    def test_missing_record_is_none(self, tmp_path):
+        assert ResultStore(tmp_path).load(stable_hash("nope")) is None
+
+    def test_corrupted_record_recovers(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = stable_hash({"n": 2})
+        store.save(key, {"kind": "test", "payload": {"cycles": 1}})
+        store.path_for(key).write_text('{"kind": "test", "payl')  # torn write
+        assert store.load(key) is None
+        assert not store.path_for(key).exists()  # quarantined
+        store.save(key, {"kind": "test", "payload": {"cycles": 2}})
+        assert store.load(key)["payload"] == {"cycles": 2}
+
+    def test_binary_corrupted_record_recovers(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = stable_hash({"n": 3})
+        store.save(key, {"kind": "test", "payload": {"cycles": 1}})
+        store.path_for(key).write_bytes(b"\xff\xfe\x00garbage\x80")  # not UTF-8
+        assert store.load(key) is None
+        assert not store.path_for(key).exists()
+        store.save(key, {"kind": "test", "payload": {"cycles": 3}})
+        assert store.load(key)["payload"] == {"cycles": 3}
+
+    def test_record_under_wrong_key_is_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key_a, key_b = stable_hash("a"), stable_hash("b")
+        store.save(key_a, {"kind": "test", "payload": {}})
+        store.path_for(key_b).parent.mkdir(parents=True, exist_ok=True)
+        store.path_for(key_b).write_bytes(store.path_for(key_a).read_bytes())
+        assert store.load(key_b) is None
+
+    def test_run_point_recomputes_after_corruption(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+        from repro.sweep import clear_memory_caches
+
+        clear_memory_caches()
+        store = ResultStore(tmp_path)
+        key = point_key(POINT)
+        first = run_point(POINT, store)
+        store.path_for(key).write_text("garbage")
+        before = simulation_count()
+        second = run_point(POINT, store)
+        assert simulation_count() == before + 1
+        assert second.result.cycles == first.result.cycles
+        assert store.load(key) is not None  # re-persisted
+
+    def test_unwritable_store_does_not_fail(self, tmp_path):
+        # A regular file where a directory is needed blocks every write
+        # (even for root, unlike permission bits); persistence must
+        # degrade to a no-op rather than raise.
+        obstruction = tmp_path / "obstruction"
+        obstruction.write_text("not a directory")
+        store = ResultStore(obstruction / "store")
+        store.save(stable_hash("x"), {"kind": "test", "payload": {}})
+        assert store.load(stable_hash("x")) is None
+
+
+class TestConcurrency:
+    def test_concurrent_writers_same_key(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = stable_hash("contended")
+
+        def writer(i):
+            for _ in range(25):
+                store.save(key, {"kind": "test", "payload": {"writer": i}})
+                record = store.load(key)
+                # Readers racing writers must only ever see a complete
+                # record from *some* writer, never a torn one.
+                assert record is None or record["payload"]["writer"] in range(8)
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(writer, range(8)))
+        final = store.load(key)
+        assert final is not None and "writer" in final["payload"]
+        # No stray temporary files left behind.
+        leftovers = list(store.path_for(key).parent.glob("*.tmp"))
+        assert leftovers == []
+
+    def test_concurrent_writers_distinct_keys(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = [stable_hash(f"k{i}") for i in range(32)]
+
+        def writer(key):
+            store.save(key, {"kind": "test", "payload": {"key": key}})
+            return store.load(key)["payload"]["key"]
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            assert sorted(pool.map(writer, keys)) == sorted(keys)
+        assert len(store) == 32
+
+
+class TestDefaultStore:
+    def test_env_redirect(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "redirected"))
+        store = default_store()
+        assert str(store.root) == str(tmp_path / "redirected")
+
+    @pytest.mark.parametrize("value", ["", "off", "none", "0", "  OFF  "])
+    def test_disabled_values(self, value, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", value)
+        assert default_store() is None
+
+    def test_simulation_works_without_store(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "off")
+        from repro.sweep import clear_memory_caches, sweep
+
+        clear_memory_caches()
+        report = sweep([POINT])
+        assert report.store_root is None
+        assert report[POINT].result.cycles > 0
+        clear_memory_caches()

@@ -127,10 +127,12 @@ class TestFailureInjection:
 
         patched = {**spec.versions, "mmx64": broken}
         monkeypatch.setattr(spec, "versions", patched)
-        simulator.simulate_kernel.cache_clear()
+        # Bypass both cache layers: the verification must actually run.
+        monkeypatch.setenv("REPRO_STORE", "off")
+        simulator.clear_kernel_memo()
         with pytest.raises(AssertionError):
             simulator.simulate_kernel("comp", "mmx64", 2, seed=123)
-        simulator.simulate_kernel.cache_clear()
+        simulator.clear_kernel_memo()
 
     def test_timing_handles_unknown_register_sources(self):
         """Sources never written (live-ins) must not crash the model."""

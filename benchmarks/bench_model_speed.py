@@ -1,13 +1,49 @@
 """Raw throughput of the emulation machines and the timing model.
 
 These keep the reproduction honest about its own cost: trace generation
-and trace timing are the two engines everything else drives.
+(emulated instructions/sec) and trace re-timing (re-timed
+instructions/sec) are the two engines everything else drives, and since
+the columnar trace IR they are measured *separately* -- a sweep that
+re-times cached traces pays only the second number.
+
+Two ways to run:
+
+* ``pytest benchmarks/bench_model_speed.py`` -- pytest-benchmark
+  micro-benchmarks (needs ``pytest-benchmark``).
+* ``python benchmarks/bench_model_speed.py [--budget ci|full]
+  [--json PATH] [--check-floor benchmarks/perf_floor.json]`` -- the
+  self-contained CLI used by the CI perf-smoke step: measures both
+  rates (and, with ``--budget full``, a cold + warm-trace Fig. 4 kernel
+  sweep), writes them to the benchmark JSON so the perf trajectory is
+  tracked over time, and fails when a rate regresses more than 3x below
+  the checked-in floor.
 """
 
-from repro.kernels.base import execute
-from repro.kernels.registry import KERNELS
-from repro.timing.config import get_config
-from repro.timing.core import CoreModel
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.kernels.base import execute  # noqa: E402
+from repro.kernels.registry import KERNELS  # noqa: E402
+from repro.timing.config import get_config  # noqa: E402
+from repro.timing.core import CoreModel  # noqa: E402
+
+#: Rates measured by :func:`measure_model_speed` and guarded by the floor.
+RATE_KEYS = ("emulated_instructions_per_sec", "retimed_instructions_per_sec")
+
+#: A measured rate below ``floor / REGRESSION_FACTOR`` fails the smoke.
+REGRESSION_FACTOR = 3.0
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
 
 
 def test_emulation_throughput(benchmark):
@@ -22,13 +58,13 @@ def test_emulation_throughput(benchmark):
 
 
 def test_timing_model_throughput(benchmark):
-    """Trace records timed per second (ycc trace on the 2-way core)."""
-    trace = execute(KERNELS["ycc"], "mmx64", seed=0).trace
+    """Trace slots re-timed per second (columnar ycc trace, 2-way core)."""
+    cols = execute(KERNELS["ycc"], "mmx64", seed=0).trace.columns()
 
     def work():
         model = CoreModel(get_config("mmx64", 2))
-        model.hier.warm(trace)
-        return model.run(trace).cycles
+        model.hier.warm(cols)
+        return model.run(cols).cycles
 
     cycles = benchmark(work)
     assert cycles > 0
@@ -36,11 +72,165 @@ def test_timing_model_throughput(benchmark):
 
 def test_vector_timing_throughput(benchmark):
     """Matrix traces exercise the lane/vector-cache paths."""
-    trace = execute(KERNELS["idct"], "vmmx128", seed=0).trace
+    cols = execute(KERNELS["idct"], "vmmx128", seed=0).trace.columns()
 
     def work():
         model = CoreModel(get_config("vmmx128", 2))
-        model.hier.warm(trace)
-        return model.run(trace).cycles
+        model.hier.warm(cols)
+        return model.run(cols).cycles
 
     benchmark(work)
+
+
+# ---------------------------------------------------------------------------
+# CLI measurement (CI perf smoke + trajectory tracking)
+# ---------------------------------------------------------------------------
+
+
+def _best_rate(work, instructions, reps):
+    """Best instructions/sec over ``reps`` runs (min-time estimator)."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        work()
+        best = min(best, time.perf_counter() - t0)
+    return instructions / best
+
+
+def measure_model_speed(budget="ci"):
+    """Measure trace generation and re-timing rates separately."""
+    reps = 2 if budget == "ci" else 5
+    spec = KERNELS["ycc"]
+
+    trace_holder = {}
+
+    def emulate():
+        trace_holder["trace"] = execute(spec, "mmx64", seed=0).trace
+
+    emulate()  # warm imports/workload caches before timing
+    n = len(trace_holder["trace"])
+    emu_rate = _best_rate(emulate, n, reps)
+
+    cols = trace_holder["trace"].columns()
+
+    def retime():
+        model = CoreModel(get_config("mmx64", 2))
+        model.hier.warm(cols)
+        model.run(cols)
+
+    retime_rate = _best_rate(retime, n, max(reps, 3))
+
+    results = {
+        "budget": budget,
+        "trace_instructions": n,
+        "emulated_instructions_per_sec": round(emu_rate),
+        "retimed_instructions_per_sec": round(retime_rate),
+    }
+    if budget == "full":
+        results["fig4_sweep"] = _measure_fig4_sweep()
+    return results
+
+
+def _measure_fig4_sweep():
+    """Cold + warm-trace end-to-end rates over the Fig. 4 kernel sweep.
+
+    The sweep covers the Fig. 4 kernels on all four extensions at every
+    machine width, against a fresh store: the cold pass emulates each
+    (kernel, version) once and re-times it per width; the second pass
+    drops the timing records but keeps the cached columnar traces, so
+    it re-times without emulating anything -- the warm-trace ablation
+    regime.
+    """
+    import pathlib
+    import shutil
+    import tempfile
+
+    from repro.kernels.registry import FIG4_KERNELS
+    from repro.sweep import clear_memory_caches, emulation_count, sweep
+    from repro.sweep.points import grid
+    from repro.timing.config import ISAS, WAYS
+
+    store_root = tempfile.mkdtemp(prefix="repro-bench-store-")
+    previous = os.environ.get("REPRO_STORE")
+    os.environ["REPRO_STORE"] = store_root
+    try:
+        clear_memory_caches()
+        points = grid(FIG4_KERNELS + ("fdct",), ISAS, WAYS, (0,))
+        t0 = time.perf_counter()
+        report = sweep(points)
+        cold = time.perf_counter() - t0
+        instructions = sum(t.result.instructions for t in report.results.values())
+
+        emulations_before = emulation_count()
+        for path in pathlib.Path(store_root).rglob("*.json"):
+            if json.loads(path.read_text()).get("kind") == "kernel-timing":
+                path.unlink()
+        clear_memory_caches()
+        t0 = time.perf_counter()
+        sweep(points)
+        warm = time.perf_counter() - t0
+        return {
+            "points": len(points),
+            "timed_instructions": instructions,
+            "cold_seconds": round(cold, 3),
+            "cold_instructions_per_sec": round(instructions / cold),
+            "warm_trace_seconds": round(warm, 3),
+            "warm_trace_instructions_per_sec": round(instructions / warm),
+            "warm_trace_emulations": emulation_count() - emulations_before,
+        }
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_STORE", None)
+        else:
+            os.environ["REPRO_STORE"] = previous
+        clear_memory_caches()
+        shutil.rmtree(store_root, ignore_errors=True)
+
+
+def check_floor(results, floor_path):
+    """Fail (return False) if any rate is >3x below its floor."""
+    with open(floor_path) as handle:
+        floors = json.load(handle)
+    ok = True
+    for key in RATE_KEYS:
+        floor = floors.get(key)
+        if floor is None:
+            continue
+        threshold = floor / REGRESSION_FACTOR
+        rate = results[key]
+        status = "ok" if rate >= threshold else "REGRESSION"
+        print(
+            f"{key}: {rate:,.0f}/s (floor {floor:,.0f}, "
+            f"fail below {threshold:,.0f}) {status}"
+        )
+        if rate < threshold:
+            ok = False
+    return ok
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", choices=("ci", "full"), default="ci")
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write the measured rates to this JSON file",
+    )
+    parser.add_argument(
+        "--check-floor", metavar="PATH",
+        help="fail if a rate regresses >3x below the floor in this file",
+    )
+    args = parser.parse_args(argv)
+
+    results = measure_model_speed(args.budget)
+    print(json.dumps(results, indent=2))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(results, handle, indent=2)
+            handle.write("\n")
+    if args.check_floor and not check_floor(results, args.check_floor):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

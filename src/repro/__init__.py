@@ -18,13 +18,13 @@ See ``examples/quickstart.py`` and DESIGN.md for the full tour.
 """
 
 from repro.emu import ISA_NAMES, VERSION_NAMES, Memory, make_machine
-from repro.isa import Category, FUClass, Trace, TraceRecord
+from repro.isa import Category, ColumnarTrace, FUClass, Trace, TraceRecord
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "Category", "FUClass", "ISA_NAMES", "Memory", "Trace", "TraceRecord",
-    "VERSION_NAMES", "make_machine", "__version__",
+    "Category", "ColumnarTrace", "FUClass", "ISA_NAMES", "Memory", "Trace",
+    "TraceRecord", "VERSION_NAMES", "make_machine", "__version__",
 ]
 
 

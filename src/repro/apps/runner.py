@@ -10,9 +10,10 @@ from __future__ import annotations
 
 from collections import Counter
 from functools import lru_cache
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.apps.profile import AppProfile
+from repro.isa.trace import ColumnarTrace, Trace
 from repro.workloads import speech_signal, test_image, video_clip
 
 #: The six Mediabench applications of Table II, presentation order.
@@ -98,6 +99,38 @@ def clear_profile_memo() -> None:
     _jpeg_artifacts.cache_clear()
     _mpeg2_artifacts.cache_clear()
     _gsm_artifacts.cache_clear()
+
+
+def stream_app_kernel_traces(
+    app: str, isa: str = "mmx64", seed: int = 0
+) -> Iterator[Tuple[str, ColumnarTrace]]:
+    """Yield ``(kernel, trace segment)`` for every kernel an app invokes.
+
+    Emulates each kernel the application's profile calls, all through
+    *one* shared trace builder, checkpointing between kernels: the
+    builder's buffer only ever holds the segment currently being
+    generated, so a long application run streams in bounded memory
+    instead of accumulating the whole dynamic trace (the builder's
+    ``checkpoint``/``clear`` API exists for exactly this).
+
+    Each yielded segment is an immutable :class:`ColumnarTrace` ready
+    for the timing model or the result store.
+    """
+    from repro.emu import Memory, make_machine
+    from repro.kernels.registry import KERNELS
+
+    profile = run_app_profile(app, seed)
+    builder = Trace(f"{app}/{isa}")
+    for kernel in profile.kernel_items:
+        spec = KERNELS[kernel]
+        if isa not in spec.versions:
+            continue
+        mem = Memory()
+        wl = spec.make_workload(mem, seed)
+        machine = make_machine(isa, mem, builder)
+        spec.versions[isa](machine, wl)
+        segment = builder.checkpoint()
+        yield kernel, segment
 
 
 def run_app_profile(app: str, seed: int = 0) -> AppProfile:

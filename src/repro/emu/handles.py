@@ -2,9 +2,11 @@
 
 Handles are SSA-like: every instruction that produces a value returns a
 fresh handle with a unique register id, so the timing model sees exact RAW
-dependences with no false sharing.  The handle also carries the functional
-value (a Python int for scalars, numpy arrays for SIMD/matrix registers),
-which is what makes the emulation machines usable as a correctness oracle.
+dependences with no false sharing.  The ids land in the packed src/dst
+columns of the columnar trace IR (:mod:`repro.isa.trace`).  The handle
+also carries the functional value (a Python int for scalars, numpy arrays
+for SIMD/matrix registers), which is what makes the emulation machines
+usable as a correctness oracle.
 """
 
 from __future__ import annotations

@@ -6,7 +6,8 @@ registers).  All packed intrinsics are classified as vector arithmetic /
 vector memory, matching the dynamic-instruction taxonomy of Fig. 7.
 
 The functional semantics delegate to :mod:`repro.isa.subword`; every
-intrinsic additionally emits one trace record for the timing model.
+intrinsic additionally emits one dynamic instruction into the columnar
+trace builder for the timing model.
 """
 
 from __future__ import annotations

@@ -4,7 +4,9 @@ This is the base class of every extension machine: it provides the scalar
 integer instructions (loads, stores, ALU ops, branches) that appear as
 loop/pointer overhead around the SIMD code, exactly as in the paper's
 Fig. 3 listings.  Each intrinsic computes the functional result and emits
-one :class:`~repro.isa.trace.TraceRecord`.
+one dynamic instruction straight into the columnar trace builder
+(:class:`~repro.isa.trace.TraceBuilder`) -- no per-instruction record
+object is constructed on the hot path.
 """
 
 from __future__ import annotations
@@ -17,7 +19,7 @@ import numpy as np
 from repro.emu.handles import SReg
 from repro.emu.memory import Memory
 from repro.isa.opcodes import Category, FUClass, Latency
-from repro.isa.trace import Trace, TraceRecord
+from repro.isa.trace import Trace
 
 #: Many intrinsics accept either a register handle or a Python immediate.
 Operand = Union[SReg, int]
@@ -39,33 +41,15 @@ class ScalarMachine:
         self.trace = trace if trace is not None else Trace()
         self._ids = itertools.count(1)
         self._branch_sites = itertools.count(1)
+        #: Every intrinsic funnels through ``_emit``; binding it straight
+        #: to the builder's ``emit`` drops one Python frame per emitted
+        #: dynamic instruction on the hottest path in the system.
+        self._emit = self.trace.emit
 
     # -- plumbing ----------------------------------------------------------
 
     def _new_id(self) -> int:
         return next(self._ids)
-
-    def _emit(
-        self,
-        name: str,
-        category: Category,
-        fu: FUClass,
-        latency: int,
-        dsts: Tuple[int, ...] = (),
-        srcs: Tuple[int, ...] = (),
-        **kw,
-    ) -> None:
-        self.trace.append(
-            TraceRecord(
-                name=name,
-                category=category,
-                fu=fu,
-                latency=latency,
-                dsts=dsts,
-                srcs=srcs,
-                **kw,
-            )
-        )
 
     @staticmethod
     def _val(x: Operand) -> int:

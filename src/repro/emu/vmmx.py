@@ -8,9 +8,9 @@ reduction accumulators (SAD/SQD/dot-product); matrix multiply-accumulate
 with row broadcast (used by the 2-D DCT kernels); and the partial
 load/store instructions the paper adds for VMMX128 (§II-B).
 
-Every vector instruction processes ``vl`` rows and is recorded with
-``rows=vl`` so the timing model can apply lane throughput and the vector
-cache's stride-1 fast path.
+Every vector instruction processes ``vl`` rows and is emitted into the
+columnar trace builder with ``rows=vl`` so the timing model can apply
+lane throughput and the vector cache's stride-1 fast path.
 """
 
 from __future__ import annotations

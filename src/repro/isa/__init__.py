@@ -8,12 +8,16 @@ This subpackage defines the three layers everything else builds on:
 * :mod:`repro.isa.opcodes` -- the dynamic-instruction taxonomy used by the
   paper (scalar memory / scalar arithmetic / control / vector memory /
   vector arithmetic), functional-unit classes and execution latencies.
-* :mod:`repro.isa.trace` -- the dynamic trace record stream produced by the
+* :mod:`repro.isa.trace` -- the columnar dynamic-trace IR produced by the
   emulation machines and consumed by the timing model, mirroring the
-  ATOM-generated traces the paper fed to the Jinks simulator.
+  ATOM-generated traces the paper fed to the Jinks simulator
+  (``docs/trace-ir.md`` describes the column layout).
 """
 
 from repro.isa.opcodes import Category, FUClass, Latency
-from repro.isa.trace import Trace, TraceRecord
+from repro.isa.trace import ColumnarTrace, Trace, TraceBuilder, TraceRecord
 
-__all__ = ["Category", "FUClass", "Latency", "Trace", "TraceRecord"]
+__all__ = [
+    "Category", "ColumnarTrace", "FUClass", "Latency", "Trace",
+    "TraceBuilder", "TraceRecord",
+]

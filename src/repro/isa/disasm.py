@@ -9,10 +9,14 @@ structure of the generated code.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Union
 
 from repro.isa.opcodes import Category
-from repro.isa.trace import Trace, TraceRecord
+from repro.isa.trace import ColumnarTrace, Trace, TraceRecord
+
+#: The disassembler consumes the thin record views, so it renders live
+#: builders and store-loaded columnar snapshots alike.
+TraceLike = Union[Trace, ColumnarTrace]
 
 
 def format_record(rec: TraceRecord) -> str:
@@ -34,7 +38,7 @@ def format_record(rec: TraceRecord) -> str:
     return f"{rec.name:<12s} {operands}{tail}"
 
 
-def listing(trace: Trace, limit: Optional[int] = None) -> str:
+def listing(trace: TraceLike, limit: Optional[int] = None) -> str:
     """A numbered listing of (a prefix of) the trace."""
     lines: List[str] = []
     for i, rec in enumerate(trace):
@@ -45,13 +49,13 @@ def listing(trace: Trace, limit: Optional[int] = None) -> str:
     return "\n".join(lines)
 
 
-def mnemonic_histogram(trace: Trace, top: int = 12) -> List[tuple]:
+def mnemonic_histogram(trace: TraceLike, top: int = 12) -> List[tuple]:
     """The most frequent mnemonics with counts (static shape of the code)."""
     counts = Counter(rec.name for rec in trace)
     return counts.most_common(top)
 
 
-def side_by_side(traces: Iterable[Trace], limit: int = 18, width: int = 38) -> str:
+def side_by_side(traces: Iterable[TraceLike], limit: int = 18, width: int = 38) -> str:
     """Fig.-3-style comparison: the first instructions of several traces."""
     traces = list(traces)
     columns = []

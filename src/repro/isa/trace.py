@@ -1,24 +1,77 @@
-"""Dynamic instruction trace records and streams.
+"""Dynamic instruction traces: columnar structure-of-arrays IR.
 
-A :class:`TraceRecord` is the contract between the emulation machines
-(:mod:`repro.emu`) and the timing model (:mod:`repro.timing`): it carries
-everything the timing model needs -- category, functional unit, register
-dependences, memory footprint, vector row count and branch outcome -- and
-nothing about values, which the emulation machines have already computed.
+The contract between the emulation machines (:mod:`repro.emu`) and the
+timing model (:mod:`repro.timing`) is one dynamic instruction per slot:
+category, functional unit, register dependences, memory footprint,
+vector row count and branch outcome -- and nothing about values, which
+the emulation machines have already computed.
+
+Traces at the paper's scale are hundreds of thousands of dynamic
+instructions, regenerated and re-timed for every design-space point, so
+the representation is *columnar*: parallel NumPy arrays, one per field
+(structure of arrays), rather than one Python object per instruction.
+
+* :class:`TraceBuilder` (aliased :class:`Trace`, the name every machine
+  and kernel uses) is the append-oriented producer with amortised
+  growth.  ``emit`` writes raw fields straight into the columns -- no
+  per-instruction object is ever constructed on the hot path.
+* :class:`ColumnarTrace` is the frozen snapshot the timing core walks:
+  exact-length arrays plus packed CSR-style src/dst SSA-id columns.  It
+  serialises to a compact binary form (:meth:`ColumnarTrace.to_bytes`)
+  that the content-addressed result store caches, letting sweeps re-time
+  a stored trace without re-emulating the kernel.
+* :class:`TraceRecord` remains as the *record view*: a thin materialised
+  row used by tests, the disassembler and the reference timing model.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import struct
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.isa.opcodes import Category, FUClass
+
+#: Stable category/FU codes used by the columnar encoding.  Order is part
+#: of the serialised format -- append only.
+CATEGORIES: Tuple[Category, ...] = tuple(Category)
+CAT_CODE = {cat: code for code, cat in enumerate(CATEGORIES)}
+FUNITS: Tuple[FUClass, ...] = tuple(FUClass)
+FU_CODE = {fu: code for code, fu in enumerate(FUNITS)}
+
+#: Magic + version prefix of the binary trace serialisation.
+TRACE_MAGIC = b"RPRTRC1\n"
+
+#: (attribute, little-endian dtype) pairs, in serialisation order.  The
+#: offset columns precede their id columns so lengths are recoverable.
+_COLUMN_SPEC: Tuple[Tuple[str, str], ...] = (
+    ("name_id", "<u4"),
+    ("category", "u1"),
+    ("fu", "u1"),
+    ("latency", "<i4"),
+    ("addr", "<i8"),
+    ("row_bytes", "<i4"),
+    ("rows", "<i4"),
+    ("stride", "<i8"),
+    ("pc", "<i8"),
+    ("is_store", "u1"),
+    ("is_branch", "u1"),
+    ("taken", "u1"),
+    ("src_off", "<i8"),
+    ("src_ids", "<i8"),
+    ("dst_off", "<i8"),
+    ("dst_ids", "<i8"),
+)
 
 
 @dataclass(slots=True)
 class TraceRecord:
-    """One dynamic instruction.
+    """One dynamic instruction (the materialised record view).
 
     ``rows`` is 1 for scalar and MMX instructions; for VMMX instructions it
     is the vector length (number of 64/128-bit matrix rows processed).
@@ -52,53 +105,462 @@ class TraceRecord:
         return self.rows
 
 
-class Trace:
-    """An append-only stream of :class:`TraceRecord` with running counts."""
+class _RecordSeq(Sequence):
+    """Lazy sequence of :class:`TraceRecord` views over columnar storage."""
 
-    def __init__(self, name: str = "") -> None:
-        self.name = name
-        self.records: list[TraceRecord] = []
-        self.counts: Counter = Counter()
+    __slots__ = ("_cols",)
 
-    def append(self, record: TraceRecord) -> None:
-        """Add one dynamic instruction to the stream."""
-        self.records.append(record)
-        self.counts[record.category] += 1
-
-    def extend(self, other: "Trace") -> None:
-        """Concatenate another trace (used to batch kernel invocations)."""
-        self.records.extend(other.records)
-        self.counts.update(other.counts)
+    def __init__(self, cols: "ColumnarTrace") -> None:
+        self._cols = cols
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._cols)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._cols.record(i) for i in range(*index.indices(len(self)))]
+        return self._cols.record(index)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        for i in range(len(self)):
+            yield self._cols.record(i)
+
+
+class _TraceView:
+    """Shared analytic API over the category column (builder + snapshot)."""
+
+    def category_codes(self) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def counts(self) -> Counter:
+        """Dynamic instruction counts keyed by :class:`Category`."""
+        codes = self.category_codes()
+        tally = np.bincount(codes, minlength=len(CATEGORIES))
+        return Counter(
+            {cat: int(tally[code]) for code, cat in enumerate(CATEGORIES) if tally[code]}
+        )
+
+    def count(self, category: Optional[Category] = None) -> int:
+        """Total dynamic instructions, optionally for one category."""
+        codes = self.category_codes()
+        if category is None:
+            return len(codes)
+        return int(np.count_nonzero(codes == CAT_CODE[category]))
+
+    def category_counts(self) -> dict:
+        """Counts keyed by category value string (smem, sarith, ...)."""
+        tally = np.bincount(self.category_codes(), minlength=len(CATEGORIES))
+        return {cat.value: int(tally[code]) for code, cat in enumerate(CATEGORIES)}
+
+    def vector_fraction(self) -> float:
+        """Fraction of dynamic instructions in vector categories."""
+        codes = self.category_codes()
+        if len(codes) == 0:
+            return 0.0
+        vec = np.count_nonzero(codes == CAT_CODE[Category.VMEM])
+        vec += np.count_nonzero(codes == CAT_CODE[Category.VARITH])
+        return vec / len(codes)
+
+    def summary(self) -> str:
+        """One-line human-readable summary of the stream."""
+        counts = self.counts
+        parts = ", ".join(
+            f"{cat.value}={counts[cat]}" for cat in CATEGORIES if counts[cat]
+        )
+        name = getattr(self, "name", "") or "anon"
+        return f"Trace({name}: {len(self)} instrs; {parts})"
+
+
+class ColumnarTrace(_TraceView):
+    """Frozen structure-of-arrays snapshot of a dynamic trace.
+
+    All per-record columns have exactly ``len(self)`` entries; the packed
+    ``src_ids``/``dst_ids`` columns are indexed CSR-style through the
+    ``src_off``/``dst_off`` offset columns (record ``i`` reads slots
+    ``off[i]:off[i+1]``).  Mnemonics are pooled: ``name_id`` indexes the
+    ``mnemonics`` tuple.
+    """
+
+    __slots__ = ("name", "mnemonics") + tuple(name for name, _ in _COLUMN_SPEC)
+
+    def __init__(self, name: str, mnemonics: Tuple[str, ...], **columns) -> None:
+        self.name = name
+        self.mnemonics = tuple(mnemonics)
+        for attr, _ in _COLUMN_SPEC:
+            setattr(self, attr, columns[attr])
+
+    def __len__(self) -> int:
+        return len(self.category)
+
+    def category_codes(self) -> np.ndarray:
+        return self.category
+
+    def columns(self) -> "ColumnarTrace":
+        """Uniform access point shared with :class:`TraceBuilder`."""
+        return self
+
+    # -- record views ------------------------------------------------------
+
+    def record(self, i: int) -> TraceRecord:
+        """Materialise one :class:`TraceRecord` row view."""
+        n = len(self)
+        original = i
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError(f"trace index {original} out of range")
+        so, se = int(self.src_off[i]), int(self.src_off[i + 1])
+        do, de = int(self.dst_off[i]), int(self.dst_off[i + 1])
+        return TraceRecord(
+            name=self.mnemonics[self.name_id[i]],
+            category=CATEGORIES[self.category[i]],
+            fu=FUNITS[self.fu[i]],
+            latency=int(self.latency[i]),
+            dsts=tuple(int(x) for x in self.dst_ids[do:de]),
+            srcs=tuple(int(x) for x in self.src_ids[so:se]),
+            addr=int(self.addr[i]),
+            row_bytes=int(self.row_bytes[i]),
+            rows=int(self.rows[i]),
+            stride=int(self.stride[i]),
+            is_store=bool(self.is_store[i]),
+            is_branch=bool(self.is_branch[i]),
+            taken=bool(self.taken[i]),
+            pc=int(self.pc[i]),
+        )
+
+    @property
+    def records(self) -> _RecordSeq:
+        """Lazy record-view sequence (tests, disassembler)."""
+        return _RecordSeq(self)
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self.records)
 
-    def count(self, category: Optional[Category] = None) -> int:
-        """Total dynamic instructions, optionally for one category."""
-        if category is None:
-            return len(self.records)
-        return self.counts[category]
-
-    def category_counts(self) -> dict:
-        """Counts keyed by category value string (smem, sarith, ...)."""
-        return {cat.value: self.counts[cat] for cat in Category}
-
-    def vector_fraction(self) -> float:
-        """Fraction of dynamic instructions in vector categories."""
-        if not self.records:
-            return 0.0
-        vec = self.counts[Category.VMEM] + self.counts[Category.VARITH]
-        return vec / len(self.records)
-
-    def summary(self) -> str:
-        """One-line human-readable summary of the stream."""
-        parts = ", ".join(
-            f"{cat.value}={self.counts[cat]}" for cat in Category if self.counts[cat]
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ColumnarTrace):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.mnemonics == other.mnemonics
+            and all(
+                np.array_equal(getattr(self, attr), getattr(other, attr))
+                for attr, _ in _COLUMN_SPEC
+            )
         )
-        return f"Trace({self.name or 'anon'}: {len(self.records)} instrs; {parts})"
+
+    #: Structurally comparable but backed by mutable arrays: explicitly
+    #: unhashable (key memos by (kernel, version, seed) or ``digest()``).
+    __hash__ = None
+
+    # -- binary serialisation ---------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Compact deterministic binary form (little-endian columns).
+
+        Layout: magic, 4-byte header length, canonical-JSON header
+        (name, mnemonic pool, column lengths), then each column's raw
+        little-endian bytes in :data:`_COLUMN_SPEC` order.  The encoding
+        is byte-stable across processes and platforms, so its digest can
+        address the content store.
+        """
+        header = {
+            "name": self.name,
+            "mnemonics": list(self.mnemonics),
+            "n": len(self),
+            "n_src": int(len(self.src_ids)),
+            "n_dst": int(len(self.dst_ids)),
+        }
+        blob = json.dumps(header, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        parts = [TRACE_MAGIC, struct.pack("<I", len(blob)), blob]
+        for attr, dtype in _COLUMN_SPEC:
+            arr = np.ascontiguousarray(getattr(self, attr))
+            parts.append(arr.astype(dtype, copy=False).tobytes())
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ColumnarTrace":
+        """Inverse of :meth:`to_bytes` (raises ``ValueError`` on garbage)."""
+        if not data.startswith(TRACE_MAGIC):
+            raise ValueError("not a serialised columnar trace")
+        pos = len(TRACE_MAGIC)
+        if len(data) < pos + 4:
+            raise ValueError("truncated columnar trace")
+        (hlen,) = struct.unpack_from("<I", data, pos)
+        pos += 4
+        if len(data) < pos + hlen:
+            raise ValueError("truncated columnar trace")
+        header = json.loads(data[pos: pos + hlen].decode("utf-8"))
+        pos += hlen
+        n = int(header["n"])
+        lengths = {
+            "src_off": n + 1,
+            "dst_off": n + 1,
+            "src_ids": int(header["n_src"]),
+            "dst_ids": int(header["n_dst"]),
+        }
+        columns = {}
+        for attr, dtype in _COLUMN_SPEC:
+            count = lengths.get(attr, n)
+            dt = np.dtype(dtype)
+            nbytes = count * dt.itemsize
+            if pos + nbytes > len(data):
+                raise ValueError("truncated columnar trace")
+            raw = np.frombuffer(data, dtype=dt, count=count, offset=pos).copy()
+            pos += nbytes
+            if attr in ("is_store", "is_branch", "taken"):
+                raw = raw.astype(bool)
+            columns[attr] = raw
+        if pos != len(data):
+            raise ValueError("trailing bytes after columnar trace")
+        return cls(header["name"], tuple(header["mnemonics"]), **columns)
+
+    def digest(self) -> str:
+        """SHA-256 of the serialised form (stable across processes)."""
+        return hashlib.sha256(self.to_bytes()).hexdigest()
+
+
+class TraceBuilder(_TraceView):
+    """Append-oriented columnar trace producer with amortised growth.
+
+    ``emit`` is the hot path: it appends raw field values onto Python
+    list columns (amortised O(1) growth); :meth:`columns` converts them
+    to exact-length NumPy arrays once per snapshot and memoises the
+    result until further appends.  The legacy record API (``append`` of
+    a :class:`TraceRecord`, iteration, ``records``) is preserved on top.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._pool: List[str] = []
+        self._pool_index = {}
+        self._names: List[int] = []
+        self._cat: List[int] = []
+        self._fu: List[int] = []
+        self._lat: List[int] = []
+        self._addr: List[int] = []
+        self._rowb: List[int] = []
+        self._rows: List[int] = []
+        self._stride: List[int] = []
+        self._pc: List[int] = []
+        self._store: List[bool] = []
+        self._branch: List[bool] = []
+        self._taken: List[bool] = []
+        self._src_off: List[int] = [0]
+        self._src_ids: List[int] = []
+        self._dst_off: List[int] = [0]
+        self._dst_ids: List[int] = []
+        self._generation = 0
+        self._snapshot: Optional[ColumnarTrace] = None
+        self._snapshot_key = None
+        # Bound append methods: one attribute lookup per *builder*, not
+        # per emitted instruction.  ``clear`` empties the lists in place,
+        # so the bindings stay valid for the builder's lifetime.
+        self._names_append = self._names.append
+        self._cat_append = self._cat.append
+        self._fu_append = self._fu.append
+        self._lat_append = self._lat.append
+        self._addr_append = self._addr.append
+        self._rowb_append = self._rowb.append
+        self._rows_append = self._rows.append
+        self._stride_append = self._stride.append
+        self._pc_append = self._pc.append
+        self._store_append = self._store.append
+        self._branch_append = self._branch.append
+        self._taken_append = self._taken.append
+        self._src_off_append = self._src_off.append
+        self._dst_off_append = self._dst_off.append
+
+    # -- producing ---------------------------------------------------------
+
+    def emit(
+        self,
+        name: str,
+        category: Category,
+        fu: FUClass,
+        latency: int,
+        dsts: Tuple[int, ...] = (),
+        srcs: Tuple[int, ...] = (),
+        addr: int = -1,
+        row_bytes: int = 0,
+        rows: int = 1,
+        stride: int = 0,
+        is_store: bool = False,
+        is_branch: bool = False,
+        taken: bool = False,
+        pc: int = 0,
+    ) -> None:
+        """Append one dynamic instruction from raw fields (the fast path)."""
+        name_id = self._pool_index.get(name)
+        if name_id is None:
+            name_id = self._pool_index[name] = len(self._pool)
+            self._pool.append(name)
+        self._names_append(name_id)
+        self._cat_append(CAT_CODE[category])
+        self._fu_append(FU_CODE[fu])
+        self._lat_append(latency)
+        self._addr_append(addr)
+        self._rowb_append(row_bytes)
+        self._rows_append(rows)
+        self._stride_append(stride)
+        self._pc_append(pc)
+        self._store_append(is_store)
+        self._branch_append(is_branch)
+        self._taken_append(taken)
+        if srcs:
+            self._src_ids.extend(srcs)
+        self._src_off_append(len(self._src_ids))
+        if dsts:
+            self._dst_ids.extend(dsts)
+        self._dst_off_append(len(self._dst_ids))
+
+    def append(self, record: TraceRecord) -> None:
+        """Add one dynamic instruction from a record view."""
+        self.emit(
+            record.name,
+            record.category,
+            record.fu,
+            record.latency,
+            dsts=record.dsts,
+            srcs=record.srcs,
+            addr=record.addr,
+            row_bytes=record.row_bytes,
+            rows=record.rows,
+            stride=record.stride,
+            is_store=record.is_store,
+            is_branch=record.is_branch,
+            taken=record.taken,
+            pc=record.pc,
+        )
+
+    def extend(self, other: "TraceBuilder") -> None:
+        """Concatenate another trace (used to batch kernel invocations)."""
+        remap = []
+        for name in other._pool:
+            name_id = self._pool_index.get(name)
+            if name_id is None:
+                name_id = self._pool_index[name] = len(self._pool)
+                self._pool.append(name)
+            remap.append(name_id)
+        self._names.extend(remap[i] for i in other._names)
+        self._cat.extend(other._cat)
+        self._fu.extend(other._fu)
+        self._lat.extend(other._lat)
+        self._addr.extend(other._addr)
+        self._rowb.extend(other._rowb)
+        self._rows.extend(other._rows)
+        self._stride.extend(other._stride)
+        self._pc.extend(other._pc)
+        self._store.extend(other._store)
+        self._branch.extend(other._branch)
+        self._taken.extend(other._taken)
+        src_base = len(self._src_ids)
+        self._src_ids.extend(other._src_ids)
+        self._src_off.extend(src_base + off for off in other._src_off[1:])
+        dst_base = len(self._dst_ids)
+        self._dst_ids.extend(other._dst_ids)
+        self._dst_off.extend(dst_base + off for off in other._dst_off[1:])
+        self._generation += 1
+
+    # -- streaming (bounded-memory application runs) ----------------------
+
+    def clear(self) -> None:
+        """Drop every buffered record (the mnemonic pool is retained).
+
+        Long application runs that only need per-segment statistics call
+        this (via :meth:`checkpoint`) to keep the buffer bounded instead
+        of holding the whole application trace in memory.
+        """
+        for col in (
+            self._names, self._cat, self._fu, self._lat, self._addr,
+            self._rowb, self._rows, self._stride, self._pc, self._store,
+            self._branch, self._taken, self._src_ids, self._dst_ids,
+        ):
+            col.clear()
+        self._src_off[:] = [0]
+        self._dst_off[:] = [0]
+        self._generation += 1
+        self._snapshot = None
+        self._snapshot_key = None
+
+    def checkpoint(self) -> ColumnarTrace:
+        """Snapshot the buffered segment and clear the buffer.
+
+        Returns the records appended since the previous checkpoint (or
+        construction) as an immutable :class:`ColumnarTrace`; afterwards
+        the builder is empty and keeps growing from zero.  This is how
+        :mod:`repro.apps.runner` streams per-kernel trace segments out of
+        a single long application run.
+        """
+        segment = self.columns()
+        self.clear()
+        return segment
+
+    # -- snapshotting ------------------------------------------------------
+
+    def columns(self) -> ColumnarTrace:
+        """The current contents as exact-length NumPy columns (memoised)."""
+        key = (self._generation, len(self._cat))
+        if self._snapshot is not None and self._snapshot_key == key:
+            return self._snapshot
+        cols = ColumnarTrace(
+            self.name,
+            tuple(self._pool),
+            name_id=np.asarray(self._names, dtype=np.uint32),
+            category=np.asarray(self._cat, dtype=np.uint8),
+            fu=np.asarray(self._fu, dtype=np.uint8),
+            latency=np.asarray(self._lat, dtype=np.int32),
+            addr=np.asarray(self._addr, dtype=np.int64),
+            row_bytes=np.asarray(self._rowb, dtype=np.int32),
+            rows=np.asarray(self._rows, dtype=np.int32),
+            stride=np.asarray(self._stride, dtype=np.int64),
+            pc=np.asarray(self._pc, dtype=np.int64),
+            is_store=np.asarray(self._store, dtype=bool),
+            is_branch=np.asarray(self._branch, dtype=bool),
+            taken=np.asarray(self._taken, dtype=bool),
+            src_off=np.asarray(self._src_off, dtype=np.int64),
+            src_ids=np.asarray(self._src_ids, dtype=np.int64),
+            dst_off=np.asarray(self._dst_off, dtype=np.int64),
+            dst_ids=np.asarray(self._dst_ids, dtype=np.int64),
+        )
+        self._snapshot = cols
+        self._snapshot_key = key
+        return cols
+
+    # -- stream API --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cat)
+
+    def category_codes(self) -> np.ndarray:
+        return self.columns().category
+
+    @property
+    def records(self) -> _RecordSeq:
+        """Lazy record-view sequence over the current contents."""
+        return _RecordSeq(self.columns())
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+
+#: The name the emulation machines, kernels and tests use.
+Trace = TraceBuilder
+
+
+def as_columns(trace) -> ColumnarTrace:
+    """Coerce a trace-like object to :class:`ColumnarTrace`.
+
+    Accepts a :class:`TraceBuilder`/:class:`ColumnarTrace` (zero-copy)
+    or any iterable of :class:`TraceRecord` (copied through a builder).
+    """
+    columns = getattr(trace, "columns", None)
+    if columns is not None:
+        return columns()
+    builder = TraceBuilder()
+    for record in trace:
+        builder.append(record)
+    return builder.columns()
 
 
 @dataclass
@@ -108,11 +570,16 @@ class TraceStats:
     instructions: Counter = field(default_factory=Counter)
     element_ops: Counter = field(default_factory=Counter)
 
-    def add_trace(self, trace: Trace, scale: int = 1) -> None:
+    def add_trace(self, trace, scale: int = 1) -> None:
         """Accumulate a trace's counts, optionally scaled by invocations."""
-        for record in trace:
-            self.instructions[record.category] += scale
-            self.element_ops[record.category] += record.rows * scale
+        cols = as_columns(trace)
+        n_cats = len(CATEGORIES)
+        instrs = np.bincount(cols.category, minlength=n_cats)
+        elems = np.bincount(cols.category, weights=cols.rows, minlength=n_cats)
+        for code, cat in enumerate(CATEGORIES):
+            if instrs[code]:
+                self.instructions[cat] += int(instrs[code]) * scale
+                self.element_ops[cat] += int(elems[code]) * scale
 
     def add_counts(self, category: Category, instructions: int) -> None:
         """Accumulate externally-tallied counts (application scalar code)."""

@@ -9,19 +9,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.isa.trace import Trace
+from repro.isa.trace import ColumnarTrace
 from repro.timing.core import SimResult
 from repro.timing.simulator import simulate_kernel
 
 
 @dataclass
 class KernelResult:
-    """Everything about one kernel on one machine."""
+    """Everything about one kernel on one machine.
+
+    ``trace`` is the columnar dynamic trace (shared with the result
+    store's ``trace`` records): iterate it for record views, or hand it
+    straight to the disassembler / timing model.
+    """
 
     kernel: str
     isa: str
     way: int
-    trace: Trace
+    trace: ColumnarTrace
     sim: SimResult
     batch: int
 
@@ -49,19 +54,28 @@ class KernelResult:
 def run_kernel(kernel: str, isa: str = "vmmx128", way: int = 2, seed: int = 0) -> KernelResult:
     """Emulate ``kernel`` in ``isa`` form, verify it, and time it.
 
+    Both the timing and the trace route through the result store: a
+    warm store answers without re-simulating, and the returned columnar
+    trace is the exact object the timing ran over (traces are only ever
+    cached after the version passed its bit-exact golden check, under
+    an address that embeds the simulator code digest).
+
     Raises ``KeyError`` for unknown kernels/configurations and
     ``AssertionError`` if the version fails its golden check.
     """
-    from repro.kernels.base import execute
     from repro.kernels.registry import KERNELS
+    from repro.sweep.engine import acquire_trace
+    from repro.sweep.points import SweepPoint
 
+    if kernel not in KERNELS:
+        raise KeyError(kernel)
     timing = simulate_kernel(kernel, isa, way, seed=seed)
-    run = execute(KERNELS[kernel], isa, seed=seed)
+    trace = acquire_trace(SweepPoint(kernel=kernel, version=isa, way=way, seed=seed))
     return KernelResult(
         kernel=kernel,
         isa=isa,
         way=way,
-        trace=run.trace,
+        trace=trace,
         sim=timing.result,
         batch=timing.batch,
     )

@@ -16,14 +16,18 @@ object:
 
 from repro.sweep.engine import (
     SweepReport,
+    acquire_trace,
+    clear_trace_memo,
     compute_point,
     default_jobs,
+    emulation_count,
     point_key,
     reset_simulation_count,
     resolve_configs,
     run_point,
     simulation_count,
     sweep,
+    trace_key,
 )
 from repro.sweep.points import (
     GRIDS,
@@ -53,9 +57,11 @@ def clear_memory_caches() -> None:
     records.
     """
     from repro.apps import appmodel, runner
+    from repro.sweep import engine
     from repro.timing import simulator
 
     simulator.clear_kernel_memo()
+    engine.clear_trace_memo()
     runner.clear_profile_memo()
     appmodel.clear_scalar_ipc_memo()
 
@@ -65,13 +71,16 @@ __all__ = [
     "ResultStore",
     "SweepPoint",
     "SweepReport",
+    "acquire_trace",
     "clear_memory_caches",
+    "clear_trace_memo",
     "code_version",
     "compute_point",
     "config_fingerprint",
     "dedupe",
     "default_jobs",
     "default_store",
+    "emulation_count",
     "fig4_points",
     "fig5_points",
     "fig6_points",
@@ -85,4 +94,5 @@ __all__ = [
     "simulation_count",
     "stable_hash",
     "sweep",
+    "trace_key",
 ]

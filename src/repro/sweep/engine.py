@@ -17,9 +17,11 @@ to prove warm runs perform zero new simulations.
 from __future__ import annotations
 
 import dataclasses
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.isa.trace import ColumnarTrace
 from repro.sweep.points import SweepPoint, dedupe
 from repro.sweep.store import (
     config_fingerprint,
@@ -29,6 +31,8 @@ from repro.sweep.store import (
     load_payload,
     record_key,
     save_payload,
+    trace_from_payload,
+    trace_to_payload,
 )
 from repro.timing.config import (
     CoreConfig,
@@ -45,6 +49,19 @@ _USE_DEFAULT = object()
 #: parallel sweeps, by its workers).  The warm-start tests assert this
 #: does not move.
 _SIM_COUNT = 0
+
+#: Total kernel *emulations* (dynamic-trace generations) performed by
+#: this process.  A point whose columnar trace is answered from the
+#: trace memo or the store re-times without re-emulating, so this
+#: counter rises strictly slower than :data:`_SIM_COUNT` on sweeps that
+#: share traces across machine widths or ablation overrides.
+_EMU_COUNT = 0
+
+#: In-process memo of recently generated/loaded columnar traces, keyed
+#: (kernel, version, seed).  Bounded: traces are the largest objects in
+#: the system, and the store remains the system of record.
+_TRACE_MEMO: "OrderedDict[Tuple[str, str, int], ColumnarTrace]" = OrderedDict()
+_TRACE_MEMO_MAXSIZE = 32
 
 ProgressFn = Callable[[int, int, SweepPoint, str], None]
 
@@ -64,9 +81,24 @@ def simulation_count() -> int:
     return _SIM_COUNT
 
 
+def emulation_count() -> int:
+    """How many kernel emulations (trace generations) have actually run.
+
+    Stays flat when sweeps re-time cached columnar traces -- the
+    trace-store tests assert exactly that.
+    """
+    return _EMU_COUNT
+
+
 def reset_simulation_count() -> None:
-    global _SIM_COUNT
+    global _SIM_COUNT, _EMU_COUNT
     _SIM_COUNT = 0
+    _EMU_COUNT = 0
+
+
+def clear_trace_memo() -> None:
+    """Drop every in-process columnar trace (the on-disk store remains)."""
+    _TRACE_MEMO.clear()
 
 
 def resolve_configs(point: SweepPoint) -> Tuple[CoreConfig, MemHierConfig]:
@@ -99,21 +131,86 @@ def point_key(point: SweepPoint) -> str:
     )
 
 
-def compute_point(point: SweepPoint) -> KernelTiming:
-    """Simulate one point unconditionally (no caches consulted)."""
-    from repro.kernels.base import execute
+def trace_key(point: SweepPoint) -> str:
+    """Content address of a point's *dynamic trace* record.
+
+    Traces depend only on (kernel, version, seed) -- never on the
+    machine width or configuration overrides the point times them on --
+    so every way/ablation variant of a kernel shares one stored trace.
+    """
+    return record_key(
+        "trace",
+        {"kernel": point.kernel, "version": point.version, "seed": point.seed},
+    )
+
+
+def acquire_trace(point: SweepPoint, store: Any = _USE_DEFAULT) -> ColumnarTrace:
+    """The columnar dynamic trace of a point's (kernel, version, seed).
+
+    Answered from the in-process trace memo, then the store's ``trace``
+    records, and only then by emulating the kernel -- which also runs
+    the bit-exact golden verification, so a trace is only ever persisted
+    after its kernel version proved correct.  (The store address embeds
+    the simulator code digest, so a stale trace can never be served for
+    emulation code that has changed.)
+    """
+    global _EMU_COUNT
+    if store is _USE_DEFAULT:
+        store = default_store()
+    memo_key = (point.kernel, point.version, point.seed)
+    hit = _TRACE_MEMO.get(memo_key)
+    if hit is not None:
+        _TRACE_MEMO.move_to_end(memo_key)
+        if store is not None:
+            # A memo warmed against one store must still backfill the
+            # caller's store, or it would end up holding the timing
+            # records but not the trace they came from.
+            key = trace_key(point)
+            if key not in store:
+                save_payload(store, "trace", key, trace_to_payload(hit))
+        return hit
+    key = trace_key(point) if store is not None else None
+    cols: Optional[ColumnarTrace] = None
+    if key is not None:
+        cols = trace_from_payload(load_payload(store, key))
+    if cols is None:
+        from repro.kernels.base import execute
+        from repro.kernels.registry import KERNELS
+
+        run = execute(KERNELS[point.kernel], point.version, seed=point.seed)
+        if not run.correct:
+            raise AssertionError(
+                f"kernel {point.kernel}/{point.version} failed verification "
+                "during timing"
+            )
+        _EMU_COUNT += 1
+        cols = run.trace.columns()
+        if key is not None:
+            save_payload(store, "trace", key, trace_to_payload(cols))
+    _TRACE_MEMO[memo_key] = cols
+    _TRACE_MEMO.move_to_end(memo_key)
+    while len(_TRACE_MEMO) > _TRACE_MEMO_MAXSIZE:
+        _TRACE_MEMO.popitem(last=False)
+    return cols
+
+
+def compute_point(point: SweepPoint, store: Any = _USE_DEFAULT) -> KernelTiming:
+    """Time one point unconditionally (no *timing* cache consulted).
+
+    The timing simulation always runs; the dynamic trace it walks comes
+    from :func:`acquire_trace` (against the same ``store`` the caller
+    is using for timings), which may reuse a cached columnar trace --
+    bit-identical to re-emulation by construction (and pinned by the
+    serialisation round-trip tests), so results cannot depend on where
+    the trace came from.
+    """
     from repro.kernels.registry import KERNELS
 
     global _SIM_COUNT
     spec = KERNELS[point.kernel]
-    run = execute(spec, point.version, seed=point.seed)
-    if not run.correct:
-        raise AssertionError(
-            f"kernel {point.kernel}/{point.version} failed verification "
-            "during timing"
-        )
+    cols = acquire_trace(point, store)
     config, mem = resolve_configs(point)
-    result = simulate_trace(run.trace, config, mem)
+    result = simulate_trace(cols, config, mem)
     _SIM_COUNT += 1
     return KernelTiming(
         kernel=point.kernel,
@@ -149,15 +246,22 @@ def run_point(
     stored = load_payload(store, key) if key is not None else None
     if stored is not None:
         return kernel_timing_from_dict(stored)
-    payload = kernel_timing_to_dict(compute_point(point))
+    payload = kernel_timing_to_dict(compute_point(point, store))
     if key is not None:
         save_payload(store, "kernel-timing", key, payload)
     return kernel_timing_from_dict(payload)
 
 
-def _worker_chunk(points: Sequence[SweepPoint]) -> List[Dict[str, Any]]:
-    """Process-pool worker: simulate a contiguous chunk of cold points."""
-    return [kernel_timing_to_dict(compute_point(p)) for p in points]
+def _worker_chunk(points: Sequence[SweepPoint]) -> Dict[str, Any]:
+    """Process-pool worker: simulate a contiguous chunk of cold points.
+
+    Also reports how many *emulations* the chunk performed (workers are
+    reused across chunks, so the count is a delta), letting the parent
+    keep :func:`emulation_count` truthful for pooled sweeps.
+    """
+    emulations_before = _EMU_COUNT
+    payloads = [kernel_timing_to_dict(compute_point(p)) for p in points]
+    return {"payloads": payloads, "emulations": _EMU_COUNT - emulations_before}
 
 
 def _chunks(items: Sequence, jobs: int) -> List[Sequence]:
@@ -239,6 +343,13 @@ def sweep(
         if jobs > 1:
             payloads = _pooled(misses, jobs)
         else:
+            # Trace records deliberately go through the *default*
+            # (environment-selected) store here, not ``store``: pooled
+            # workers can only reach the environment store, and the
+            # jobs-parity guarantee (store trees byte-identical for any
+            # ``jobs``) requires serial execution to match them.
+            # Single-point callers that pass an explicit store get
+            # trace forwarding via run_point.
             payloads = [kernel_timing_to_dict(compute_point(p)) for p in misses]
         for point, key, payload in zip(misses, miss_keys, payloads):
             if key is not None:
@@ -263,7 +374,7 @@ def sweep(
 
 def _pooled(misses: Sequence[SweepPoint], jobs: int) -> List[Dict[str, Any]]:
     """Run cold points through a process pool; fall back to inline."""
-    global _SIM_COUNT
+    global _SIM_COUNT, _EMU_COUNT
     import concurrent.futures
     import multiprocessing
 
@@ -277,13 +388,16 @@ def _pooled(misses: Sequence[SweepPoint], jobs: int) -> List[Dict[str, Any]]:
             max_workers=min(jobs, len(chunks)), mp_context=context
         ) as pool:
             payloads: List[Dict[str, Any]] = []
-            for chunk_payloads in pool.map(_worker_chunk, chunks):
-                payloads.extend(chunk_payloads)
+            emulations = 0
+            for chunk in pool.map(_worker_chunk, chunks):
+                payloads.extend(chunk["payloads"])
+                emulations += chunk["emulations"]
     except (OSError, concurrent.futures.process.BrokenProcessPool):
         # Pool creation can fail in constrained sandboxes; the sweep
         # must still complete, just serially.
         return [kernel_timing_to_dict(compute_point(p)) for p in misses]
     _SIM_COUNT += len(misses)
+    _EMU_COUNT += emulations
     return payloads
 
 

@@ -13,24 +13,26 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
-from repro.isa.trace import Trace
+from repro.isa.trace import ColumnarTrace, Trace
 from repro.timing.config import CoreConfig, MemHierConfig
 from repro.timing.core import CoreModel, SimResult
 
 
 def simulate_trace(
-    trace: Trace,
+    trace: Union[Trace, ColumnarTrace],
     config: CoreConfig,
     mem_config: Optional[MemHierConfig] = None,
     warm: bool = True,
 ) -> SimResult:
     """Time one dynamic trace on one processor configuration.
 
-    ``warm`` pre-touches the caches with the trace footprint so results
-    reflect the steady state (the regime the paper's full-application
-    simulations measure kernels in).
+    Accepts a live builder or a columnar snapshot (e.g. one re-loaded
+    from the result store's ``trace`` records).  ``warm`` pre-touches
+    the caches with the trace footprint so results reflect the steady
+    state (the regime the paper's full-application simulations measure
+    kernels in).
     """
     model = CoreModel(config, mem_config)
     if warm:

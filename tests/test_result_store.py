@@ -214,6 +214,152 @@ class TestConcurrency:
         assert len(store) == 32
 
 
+class TestTraceRecords:
+    """The ``trace`` record kind: cached columnar dynamic traces."""
+
+    def test_trace_payload_roundtrip(self, tmp_path):
+        from repro.kernels.base import execute
+        from repro.kernels.registry import KERNELS
+        from repro.sweep.store import trace_from_payload, trace_to_payload
+
+        cols = execute(KERNELS["addblock"], "mmx64", seed=0).trace.columns()
+        store = ResultStore(tmp_path)
+        key = stable_hash("trace-roundtrip")
+        store.save(key, {"kind": "trace", "payload": trace_to_payload(cols)})
+        loaded = trace_from_payload(store.load(key)["payload"])
+        assert loaded == cols
+        assert loaded.digest() == cols.digest()
+
+    def test_malformed_trace_payload_is_none(self):
+        from repro.sweep.store import trace_from_payload
+
+        assert trace_from_payload(None) is None
+        assert trace_from_payload({"format": "something-else"}) is None
+        assert trace_from_payload(
+            {"format": "columnar-trace/1", "codec": "zlib+b64", "data": "!!!"}
+        ) is None
+
+    def test_digest_mismatch_is_rejected(self, tmp_path):
+        from repro.kernels.base import execute
+        from repro.kernels.registry import KERNELS
+        from repro.sweep.store import trace_from_payload, trace_to_payload
+
+        cols = execute(KERNELS["addblock"], "mmx64", seed=0).trace.columns()
+        payload = trace_to_payload(cols)
+        payload["digest"] = "0" * 64
+        assert trace_from_payload(payload) is None
+
+    def test_warm_trace_store_skips_emulation(self, tmp_path, monkeypatch):
+        """Re-timing on new configurations reuses the stored trace."""
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+        from repro.sweep import (
+            clear_memory_caches,
+            emulation_count,
+            run_point,
+            trace_key,
+        )
+
+        clear_memory_caches()
+        store = ResultStore(tmp_path)
+        before = emulation_count()
+        run_point(SweepPoint("addblock", "mmx64", 2), store)
+        assert emulation_count() == before + 1
+        assert store.load(trace_key(SweepPoint("addblock", "mmx64", 2))) is not None
+        # Same trace, different machine width and an ablation override:
+        # three more timings, zero further emulations -- even with every
+        # in-process cache dropped (the store alone carries the trace).
+        clear_memory_caches()
+        run_point(SweepPoint("addblock", "mmx64", 4), store)
+        run_point(SweepPoint("addblock", "mmx64", 8), store)
+        run_point(
+            SweepPoint("addblock", "mmx64", 2, core_overrides={"mem_ports": 4}),
+            store,
+        )
+        assert emulation_count() == before + 1
+        clear_memory_caches()
+
+    def test_explicit_store_carries_trace_records(self, tmp_path, monkeypatch):
+        """run_point with an explicit store writes the trace *there*.
+
+        Regression: compute_point used to consult the global default
+        store for traces regardless of the store the caller passed, so
+        explicit-store callers never got warm-trace reuse (and leaked
+        trace records into the default store).
+        """
+        monkeypatch.setenv("REPRO_STORE", "off")
+        from repro.sweep import clear_memory_caches, emulation_count, run_point, trace_key
+
+        clear_memory_caches()
+        store = ResultStore(tmp_path)
+        point = SweepPoint("addblock", "mmx64", 2)
+        run_point(point, store)
+        assert store.load(trace_key(point)) is not None
+        clear_memory_caches()
+        before = emulation_count()
+        run_point(SweepPoint("addblock", "mmx64", 8), store)
+        assert emulation_count() == before  # trace reused from tmp store
+        # A trace that is only memo-warm (persistence was off when it
+        # was emulated) must still be backfilled into an explicit store.
+        from repro.sweep import acquire_trace
+
+        other = SweepPoint("addblock", "vmmx64", 2)
+        acquire_trace(other)  # store off: lands in the memo only
+        backfill = ResultStore(tmp_path / "backfill")
+        run_point(other, backfill)
+        assert backfill.load(trace_key(other)) is not None
+        clear_memory_caches()
+
+    def test_pooled_sweep_reports_emulations(self, tmp_path, monkeypatch):
+        """emulation_count() stays truthful across a process pool."""
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+        from repro.sweep import clear_memory_caches, emulation_count, sweep
+
+        clear_memory_caches()
+        points = [
+            SweepPoint("addblock", "mmx64", way) for way in (2, 4, 8)
+        ] + [SweepPoint("addblock", "vmmx64", way) for way in (2, 4, 8)]
+        before = emulation_count()
+        report = sweep(points, jobs=2)
+        assert report.simulated == 6
+        # At least one emulation per (kernel, version) happened in the
+        # workers and was reported back (the counter used to stay at 0
+        # for pooled sweeps); racing workers may duplicate a few.
+        assert 2 <= emulation_count() - before <= 6
+        clear_memory_caches()
+
+    def test_trace_identical_from_store_and_emulation(self, tmp_path, monkeypatch):
+        """acquire_trace returns bit-identical traces warm and cold."""
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+        from repro.sweep import acquire_trace, clear_memory_caches
+
+        clear_memory_caches()
+        store = ResultStore(tmp_path)
+        point = SweepPoint("addblock", "vmmx64", 2)
+        cold = acquire_trace(point, store)
+        clear_memory_caches()  # force the store path
+        warm = acquire_trace(point, store)
+        assert warm == cold
+        assert warm.digest() == cold.digest()
+        clear_memory_caches()
+
+    def test_timing_identical_from_cached_trace(self, tmp_path, monkeypatch):
+        """A result re-timed from a cached trace matches the cold result."""
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+        from repro.sweep import clear_memory_caches, run_point, trace_key
+
+        clear_memory_caches()
+        store = ResultStore(tmp_path)
+        point = SweepPoint("comp", "vmmx128", 4)
+        cold = run_point(point, store)
+        # Drop the timing record but keep the trace, then recompute.
+        store.path_for(point_key(point)).unlink()
+        clear_memory_caches()
+        warm = run_point(point, store)
+        assert warm.result == cold.result
+        assert store.load(trace_key(point)) is not None
+        clear_memory_caches()
+
+
 class TestDefaultStore:
     def test_env_redirect(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_STORE", str(tmp_path / "redirected"))

@@ -1,7 +1,20 @@
-"""Tests for trace records and streams."""
+"""Tests for the columnar trace IR: records, builder, serialisation."""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
 
 from repro.isa.opcodes import Category, FUClass
-from repro.isa.trace import Trace, TraceRecord, TraceStats
+from repro.isa.trace import (
+    ColumnarTrace,
+    Trace,
+    TraceBuilder,
+    TraceRecord,
+    TraceStats,
+    as_columns,
+)
 
 
 def rec(category=Category.SARITH, **kw):
@@ -77,6 +90,142 @@ class TestTrace:
         t.append(rec())
         assert "demo" in t.summary()
         assert "sarith=1" in t.summary()
+
+
+def demo_trace(n=7):
+    t = Trace("demo")
+    for i in range(n):
+        t.append(rec(name=f"op{i % 3}", dsts=(i + 1,), srcs=(i,) if i else ()))
+    t.append(rec(Category.VMEM, name="vld", addr=4096, row_bytes=8, rows=16,
+                 stride=800, fu=FUClass.MEM, latency=0, dsts=(100,)))
+    t.append(rec(Category.SCTRL, name="br", is_branch=True, taken=True, pc=3))
+    t.append(rec(Category.SMEM, name="st", fu=FUClass.MEM, latency=0,
+                 addr=64, row_bytes=4, is_store=True, srcs=(2, 3)))
+    return t
+
+
+class TestBuilderColumns:
+    def test_trace_is_the_builder(self):
+        assert Trace is TraceBuilder
+
+    def test_columns_roundtrip_records(self):
+        t = demo_trace()
+        via_records = [as_columns(list(t)).record(i) for i in range(len(t))]
+        assert via_records == list(t.records)
+
+    def test_columns_memoised_until_append(self):
+        t = demo_trace()
+        assert t.columns() is t.columns()
+        t.append(rec())
+        assert len(t.columns()) == len(t)
+
+    def test_csr_offsets_consistent(self):
+        cols = demo_trace().columns()
+        assert cols.src_off[0] == 0 and cols.dst_off[0] == 0
+        assert cols.src_off[-1] == len(cols.src_ids)
+        assert cols.dst_off[-1] == len(cols.dst_ids)
+        assert len(cols.src_off) == len(cols) + 1
+
+    def test_negative_indexing(self):
+        t = demo_trace()
+        assert t.records[-1].name == "st"
+        assert t.records[-1].srcs == (2, 3)
+
+    def test_extend_remaps_mnemonic_pool(self):
+        a, b = Trace(), Trace()
+        a.append(rec(name="alu"))
+        b.append(rec(name="mul"))
+        b.append(rec(name="alu"))
+        a.extend(b)
+        assert [r.name for r in a] == ["alu", "mul", "alu"]
+
+
+class TestCheckpointClear:
+    def test_checkpoint_returns_segment_and_empties_buffer(self):
+        t = Trace("app")
+        t.append(rec(name="a"))
+        t.append(rec(name="b"))
+        seg1 = t.checkpoint()
+        assert [r.name for r in seg1] == ["a", "b"]
+        assert len(t) == 0
+        t.append(rec(name="c"))
+        seg2 = t.checkpoint()
+        assert [r.name for r in seg2] == ["c"]
+        assert isinstance(seg1, ColumnarTrace)
+
+    def test_clear_bounds_memory_not_just_length(self):
+        t = Trace()
+        for i in range(100):
+            t.append(rec(dsts=(i + 1,)))
+        t.clear()
+        assert len(t) == 0
+        assert len(t._dst_ids) == 0
+        assert t._src_off == [0]
+
+    def test_builder_usable_after_clear(self):
+        t = Trace()
+        t.append(rec(name="x"))
+        t.clear()
+        t.append(rec(name="y", dsts=(9,)))
+        assert [r.name for r in t] == ["y"]
+        assert t.records[-1].dsts == (9,)
+
+
+class TestSerialisation:
+    def test_roundtrip_identical_columns(self):
+        cols = demo_trace().columns()
+        back = ColumnarTrace.from_bytes(cols.to_bytes())
+        assert back == cols
+        for attr in ("category", "addr", "rows", "stride", "src_ids", "dst_ids"):
+            assert np.array_equal(getattr(back, attr), getattr(cols, attr))
+        assert back.mnemonics == cols.mnemonics
+        assert back.name == cols.name
+
+    def test_roundtrip_empty_trace(self):
+        cols = Trace("empty").columns()
+        back = ColumnarTrace.from_bytes(cols.to_bytes())
+        assert len(back) == 0
+        assert back == cols
+
+    def test_digest_stable_within_process(self):
+        assert demo_trace().columns().digest() == demo_trace().columns().digest()
+
+    def test_digest_stable_across_processes(self):
+        """A fresh interpreter (fresh hash seed) serialises identically."""
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = "random"
+        script = (
+            "import importlib.util; "
+            f"spec = importlib.util.spec_from_file_location('tt', {__file__!r}); "
+            "mod = importlib.util.module_from_spec(spec); "
+            "spec.loader.exec_module(mod); "
+            "print(mod.demo_trace().columns().digest())"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True,
+        ).stdout.strip()
+        assert out == demo_trace().columns().digest()
+
+    def test_garbage_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ColumnarTrace.from_bytes(b"definitely not a trace")
+        with pytest.raises(ValueError):
+            ColumnarTrace.from_bytes(demo_trace().columns().to_bytes()[:-3])
+
+    def test_kernel_trace_roundtrip(self):
+        """A real emulated kernel trace survives the binary round-trip."""
+        from repro.kernels.base import execute
+        from repro.kernels.registry import KERNELS
+
+        cols = execute(KERNELS["addblock"], "vmmx64", seed=0).trace.columns()
+        back = ColumnarTrace.from_bytes(cols.to_bytes())
+        assert back == cols
+        assert back.digest() == cols.digest()
 
 
 class TestTraceStats:

@@ -30,7 +30,7 @@ __all__ = [
 
 def __getattr__(name):
     # Lazy imports keep `import repro` light while still exposing the
-    # high-level API (kernel runner, processor configs, experiments).
+    # high-level API (kernel runner, machine registry, experiments).
     if name == "run_kernel":
         from repro.kernels.runner import run_kernel
 
@@ -39,4 +39,9 @@ def __getattr__(name):
         from repro.timing.config import CONFIGS
 
         return CONFIGS
+    if name in ("MachineSpec", "SimdGeometry", "get_machine",
+                "register_machine", "registered_machines"):
+        import repro.machines as machines
+
+        return getattr(machines, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,51 +1,92 @@
 """Jinks-style command-line simulator driver.
 
-Run any kernel version on any modeled processor, or sweep a whole
-design-space grid in parallel with a persistent result store::
+Run any kernel version on any modeled (or registered custom) machine,
+sweep a whole design-space grid in parallel with a persistent result
+store, or inspect/validate the machine registry::
 
     python -m repro kernel motion1 --isa vmmx128 --way 2
-    python -m repro kernel idct --isa mmx64 --way 8 --listing 20
+    python -m repro kernel idct --machine vmmx256 --way 16 --listing 20
     python -m repro sweep --grid fig4 --jobs 4
     python -m repro sweep --kernels idct,ycc --isas mmx64,vmmx128 --ways 2,8
+    python -m repro sweep --machines mmx256,vmmx256 --ways 2,16
+    python -m repro machines
+    python -m repro machines --validate
     python -m repro list
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
+
+#: Default location of the pinned machine-fingerprint manifest
+#: (``machines --validate`` reads it, ``--write-manifest`` regenerates).
+DEFAULT_MANIFEST = os.path.join("tests", "machine_manifest.json")
+
+#: Kernel the registry validation smoke-times on a non-paper machine.
+SMOKE_KERNEL = "addblock"
 
 
 def _cmd_list(_args) -> int:
     from repro.kernels.registry import KERNELS
-    from repro.timing.config import CONFIGS
+    from repro.machines import registered_machines
 
     print("kernels:")
     for name, spec in KERNELS.items():
         print(f"  {name:10s} {spec.app:10s} {spec.description}")
-    print("\nconfigurations:")
-    for (isa, way) in sorted(CONFIGS, key=str):
-        print(f"  --isa {isa} --way {way}")
+    print("\nmachines (python -m repro machines for details):")
+    for spec in registered_machines():
+        flag = "--isa" if spec.is_native_program else "--machine"
+        print(f"  {flag} {spec.name} --way {spec.way}")
     return 0
+
+
+def _validate_way(way: int) -> str | None:
+    if not isinstance(way, int) or isinstance(way, bool) or way < 1:
+        return f"--way must be a positive integer, got {way!r}"
+    return None
 
 
 def _cmd_kernel(args) -> int:
     from repro.isa.disasm import listing, mnemonic_histogram
     from repro.kernels.base import execute
     from repro.kernels.registry import KERNELS
+    from repro.machines import get_machine, is_registered, machine_names
     from repro.timing.simulator import simulate_kernel
 
     if args.name not in KERNELS:
         print(f"unknown kernel {args.name!r}; try: python -m repro list")
         return 1
-    spec = KERNELS[args.name]
-    run = execute(spec, args.isa, seed=args.seed)
+    error = _validate_way(args.way)
+    if error:
+        print(error)
+        return 1
+    machine = args.machine
+    if machine is not None:
+        if not is_registered(machine):
+            print(
+                f"unknown machine {machine!r}; registered: "
+                f"{', '.join(machine_names())}"
+            )
+            return 1
+        spec = get_machine(machine, args.way)
+        version = spec.program
+    else:
+        version = args.isa
+        spec = get_machine(version, args.way)
+    spec_kernel = KERNELS[args.name]
+    run = execute(spec_kernel, version, seed=args.seed)
     print(run.trace.summary())
     print(f"functional check: {'ok' if run.correct else 'FAILED'}")
-    timing = simulate_kernel(args.name, args.isa, args.way, seed=args.seed)
+    timing = simulate_kernel(
+        args.name, version, args.way, seed=args.seed, machine=machine
+    )
     result = timing.result
     print(
-        f"{args.way}-way {args.isa}: {result.cycles} cycles for "
+        f"{args.way}-way {timing.machine_name}"
+        + (f" (executing {version} binaries)" if machine not in (None, version) else "")
+        + f": {result.cycles} cycles for "
         f"{result.instructions} instructions (IPC {result.ipc:.2f}), "
         f"{timing.cycles_per_invocation:.1f} cycles/invocation"
     )
@@ -74,13 +115,18 @@ def _split(text: str):
 def _cmd_sweep(args) -> int:
     from repro.experiments.report import render_table
     from repro.kernels.registry import KERNELS
-    from repro.sweep import GRIDS, dedupe, default_jobs, grid, sweep
+    from repro.machines import is_registered, machine_names
+    from repro.sweep import GRIDS, dedupe, default_jobs, machine_grid, sweep
     from repro.timing.config import ISAS, WAYS
 
     if args.store is not None:
         # The store is selected through the environment so worker
         # processes and nested simulate_kernel calls agree on it.
         os.environ["REPRO_STORE"] = args.store
+
+    if args.isas != "all" and args.machines is not None:
+        print("--isas and --machines name the same axis; pass only one")
+        return 1
 
     if args.grid:
         if args.grid not in GRIDS:
@@ -91,6 +137,7 @@ def _cmd_sweep(args) -> int:
             for flag, value, default in (
                 ("--kernels", args.kernels, "all"),
                 ("--isas", args.isas, "all"),
+                ("--machines", args.machines, None),
                 ("--ways", args.ways, "all"),
                 ("--seeds", args.seeds, "0"),
             )
@@ -105,7 +152,12 @@ def _cmd_sweep(args) -> int:
         points = GRIDS[args.grid]()
     else:
         kernels = _split(args.kernels) if args.kernels != "all" else tuple(KERNELS)
-        isas = _split(args.isas) if args.isas != "all" else ISAS
+        if args.machines is not None:
+            machines = _split(args.machines)
+        elif args.isas != "all":
+            machines = _split(args.isas)
+        else:
+            machines = ISAS
         try:
             ways = (
                 tuple(int(w) for w in _split(args.ways))
@@ -115,11 +167,11 @@ def _cmd_sweep(args) -> int:
         except ValueError as exc:
             print(f"--ways/--seeds take comma-separated integers: {exc}")
             return 1
-        bad_ways = [w for w in ways if w not in WAYS]
+        bad_ways = [w for w in ways if w < 1]
         if bad_ways:
             print(
-                f"no modeled machine is {'/'.join(str(w) for w in bad_ways)}-way; "
-                f"available widths: {', '.join(str(w) for w in WAYS)}"
+                f"machine widths must be positive integers, got "
+                f"{'/'.join(str(w) for w in bad_ways)}"
             )
             return 1
         unknown = [k for k in kernels if k not in KERNELS]
@@ -127,11 +179,14 @@ def _cmd_sweep(args) -> int:
             print(f"unknown kernel(s): {', '.join(unknown)}; "
                   "try: python -m repro list")
             return 1
-        bad = [i for i in isas if i not in ISAS]
+        bad = [m for m in machines if not is_registered(m)]
         if bad:
-            print(f"unknown isa(s): {', '.join(bad)}; available: {', '.join(ISAS)}")
+            print(
+                f"unknown machine(s): {', '.join(bad)}; registered: "
+                f"{', '.join(machine_names())}"
+            )
             return 1
-        points = grid(kernels, isas, ways, seeds)
+        points = machine_grid(kernels, machines, ways, seeds)
     points = dedupe(points)
 
     jobs = args.jobs if args.jobs is not None else default_jobs()
@@ -166,15 +221,161 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _machine_rows():
+    from repro.machines import registered_machines
+
+    for spec in registered_machines():
+        g = spec.geometry
+        yield (
+            spec.name,
+            spec.way,
+            spec.program,
+            g.row_bits,
+            g.lanes,
+            g.max_vl,
+            g.logical_regs,
+            "yes" if g.matrix else "no",
+            spec.fingerprint()[:12],
+        )
+
+
+def _manifest_payload() -> dict:
+    from repro.machines import registered_machines
+
+    return {
+        "schema": 1,
+        "machines": {
+            spec.label: spec.fingerprint() for spec in registered_machines()
+        },
+    }
+
+
+def _cmd_machines(args) -> int:
+    from repro.experiments.report import render_table
+
+    if args.write_manifest:
+        payload = _manifest_payload()
+        with open(args.manifest, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {len(payload['machines'])} fingerprints to {args.manifest}")
+        return 0
+    if args.validate:
+        return _validate_machines(args.manifest)
+    print(
+        render_table(
+            ("machine", "way", "program", "row bits", "lanes", "max VL",
+             "logical regs", "matrix", "fingerprint"),
+            list(_machine_rows()),
+            title="Registered machines",
+        )
+    )
+    return 0
+
+
+def _validate_machines(manifest_path: str) -> int:
+    """Instantiate, round-trip and fingerprint-check every machine.
+
+    Also smoke-times one kernel on a non-paper machine, proving the
+    registry's beyond-the-table entries sweep end-to-end.  Exits
+    non-zero on any mismatch -- the CI gate.
+    """
+    from repro.machines import (
+        get_family,
+        json_roundtrip,
+        registered_machines,
+    )
+    from repro.timing.simulator import simulate_kernel
+
+    specs = registered_machines()
+    failures = []
+    for spec in specs:
+        rebuilt = json_roundtrip(spec)
+        if rebuilt != spec:
+            failures.append(f"{spec.label}: JSON round-trip changed the spec")
+    try:
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        pinned = manifest.get("machines", {})
+    except FileNotFoundError:
+        print(
+            f"manifest {manifest_path!r} not found; generate it with "
+            "python -m repro machines --write-manifest"
+        )
+        return 1
+    except ValueError as exc:
+        print(f"manifest {manifest_path!r} is not valid JSON: {exc}")
+        return 1
+    current = {spec.label: spec.fingerprint() for spec in specs}
+    for label, fingerprint in current.items():
+        expected = pinned.get(label)
+        if expected is None:
+            failures.append(f"{label}: not pinned in {manifest_path}")
+        elif expected != fingerprint:
+            failures.append(
+                f"{label}: fingerprint {fingerprint[:12]}... != pinned "
+                f"{expected[:12]}... (regenerate the manifest if the "
+                "change is intentional)"
+            )
+    for label in pinned:
+        if label not in current:
+            failures.append(f"{label}: pinned but no longer registered")
+    smoke = next(
+        (spec for spec in specs if not get_family(spec.name).paper), None
+    )
+    if smoke is None:
+        failures.append("no non-paper machine registered to smoke-test")
+    else:
+        timing = simulate_kernel(
+            SMOKE_KERNEL, smoke.program, smoke.way,
+            machine=None if smoke.is_native_program else smoke.name,
+        )
+        if timing.result.cycles <= 0:
+            failures.append(f"{smoke.label}: smoke timing returned no cycles")
+        else:
+            print(
+                f"smoke: {SMOKE_KERNEL} on {smoke.label} -> "
+                f"{timing.result.cycles} cycles "
+                f"(IPC {timing.result.ipc:.2f})"
+            )
+    if failures:
+        print(f"machine registry validation FAILED ({len(failures)}):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"machine registry ok: {len(specs)} machines, fingerprints match "
+        f"{manifest_path}"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
+    from repro.emu import VERSION_NAMES
+
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list kernels and configurations")
+    sub.add_parser("list", help="list kernels and machines")
+    machines = sub.add_parser(
+        "machines", help="inspect or validate the machine registry"
+    )
+    machines.add_argument("--validate", action="store_true",
+                          help="check every registered spec against the "
+                               "fingerprint manifest and smoke-time one kernel")
+    machines.add_argument("--manifest", default=DEFAULT_MANIFEST, metavar="PATH",
+                          help=f"fingerprint manifest (default: {DEFAULT_MANIFEST})")
+    machines.add_argument("--write-manifest", action="store_true",
+                          help="regenerate the fingerprint manifest")
     kernel = sub.add_parser("kernel", help="emulate + time one kernel")
     kernel.add_argument("name")
-    kernel.add_argument("--isa", default="vmmx128",
-                        choices=["scalar", "mmx64", "mmx128", "vmmx64", "vmmx128"])
-    kernel.add_argument("--way", type=int, default=2, choices=[2, 4, 8])
+    kernel.add_argument("--isa", default="vmmx128", choices=list(VERSION_NAMES),
+                        help="kernel version / architected machine")
+    kernel.add_argument("--machine", default=None, metavar="NAME",
+                        help="registered machine to time on (its program "
+                             "selects the kernel version; overrides --isa)")
+    kernel.add_argument("--way", type=int, default=2,
+                        help="machine width (any positive integer; widths "
+                             "beyond 2/4/8 come from the scaling curves)")
     kernel.add_argument("--seed", type=int, default=0)
     kernel.add_argument("--listing", type=int, default=0, metavar="N",
                         help="print the first N trace records")
@@ -186,7 +387,12 @@ def main(argv=None) -> int:
     sweep.add_argument("--kernels", default="all",
                        help="comma-separated kernel names (default: all)")
     sweep.add_argument("--isas", default="all",
-                       help="comma-separated ISA versions (default: all)")
+                       help="comma-separated ISA versions (default: the four "
+                            "paper ISAs)")
+    sweep.add_argument("--machines", default=None,
+                       help="comma-separated registered machine names "
+                            "(alias of --isas that also accepts non-paper "
+                            "machines such as mmx256)")
     sweep.add_argument("--ways", default="all",
                        help="comma-separated machine widths (default: 2,4,8)")
     sweep.add_argument("--seeds", default="0",
@@ -201,9 +407,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
+    if args.command == "machines":
+        return _cmd_machines(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
-    if args.command == "kernel" and args.isa == "scalar":
+    if args.command == "kernel" and args.machine is None and args.isa == "scalar":
         print("timing configs exist for SIMD ISAs; use --isa mmx64/.../vmmx128")
         return 1
     return _cmd_kernel(args)

@@ -26,7 +26,7 @@ import numpy as np
 from repro.apps.profile import AppProfile
 from repro.isa.opcodes import Category, FUClass, Latency
 from repro.isa.trace import Trace, TraceRecord
-from repro.timing.config import get_config
+from repro.machines import get_machine
 from repro.timing.core import CoreModel
 from repro.timing.simulator import simulate_kernel
 
@@ -122,7 +122,9 @@ def scalar_ipc(way: int, smem_frac_pct: int, sctrl_frac_pct: int) -> float:
         save_payload,
     )
 
-    config = get_config("mmx64", way)  # scalar resources depend only on way
+    # Scalar resources depend only on the width; resolve through the
+    # registry so non-paper ways (e.g. 16) derive from the curves.
+    config = get_machine("mmx64", way).core
     store = default_store()
     key = None
     if store is not None:
@@ -177,17 +179,34 @@ class AppTiming:
         return self.scalar_cycles + self.vector_cycles
 
 
+def _resolve_version(isa: str, way: int):
+    """Kernel version + machine-axis name for a registered machine.
+
+    Paper machines execute their own binaries (machine axis unused);
+    an aliased machine such as ``mmx256`` prices kernels with its
+    program's binaries timed on the wider machine.
+    """
+    spec = get_machine(isa, way)
+    machine = None if spec.is_native_program else spec.name
+    return spec.program, machine
+
+
 def app_timing(profile: AppProfile, isa: str, way: int) -> AppTiming:
-    """Price a profile on one machine (kernel sims are cached globally)."""
+    """Price a profile on one machine (kernel sims are cached globally).
+
+    ``isa`` may be any registered machine name, including non-paper
+    entries like ``vmmx256`` and widths beyond the paper's table.
+    """
     total = max(profile.scalar_instructions, 1)
     smem_pct = round(100.0 * profile.scalar.get("smem", 0) / total)
     sctrl_pct = round(100.0 * profile.scalar.get("sctrl", 0) / total)
     ipc = scalar_ipc(way, smem_pct, sctrl_pct)
     scalar_region = profile.scalar_instructions / ipc
+    version, machine = _resolve_version(isa, way)
     kernel_scalar = 0.0
     kernel_vector = 0.0
     for kernel, items in profile.kernel_items.items():
-        timing = simulate_kernel(kernel, isa, way)
+        timing = simulate_kernel(kernel, version, way, machine=machine)
         kernel_scalar += items * timing.result.scalar_cycles / timing.batch
         kernel_vector += items * timing.result.vector_cycles / timing.batch
     return AppTiming(
@@ -209,8 +228,9 @@ def app_instruction_counts(profile: AppProfile, isa: str) -> Dict[str, float]:
         "vmem": 0.0,
         "varith": 0.0,
     }
+    version, machine = _resolve_version(isa, 2)
     for kernel, items in profile.kernel_items.items():
-        timing = simulate_kernel(kernel, isa, 2)
+        timing = simulate_kernel(kernel, version, 2, machine=machine)
         per_item = {
             cat: count / timing.batch
             for cat, count in timing.result.cat_instructions.items()

@@ -23,22 +23,30 @@ VERSION_NAMES = ("scalar",) + ISA_NAMES
 
 
 def make_machine(isa: str, mem: Memory, trace: Optional[Trace] = None):
-    """Instantiate the machine for an ISA name.
+    """Instantiate the emulation machine for an ISA or machine name.
 
-    ``isa`` is one of ``scalar``, ``mmx64``, ``mmx128``, ``vmmx64``,
-    ``vmmx128``.
+    ``scalar`` builds the baseline machine; any name registered in
+    :mod:`repro.machines` builds the machine of its *program* (the
+    emulation ISA whose binaries it executes) with the geometry the
+    registry declares -- a 1-D geometry yields an :class:`MMXMachine`,
+    a matrix geometry a :class:`VMMXMachine`.  A registered alias such
+    as ``mmx256`` therefore emulates exactly like its program
+    (``mmx128``): emulation produces the program's trace, and only the
+    timing layer distinguishes the wider machine.
     """
     if isa == "scalar":
         return ScalarMachine(mem, trace)
-    if isa == "mmx64":
-        return MMXMachine(mem, trace, width=8)
-    if isa == "mmx128":
-        return MMXMachine(mem, trace, width=16)
-    if isa == "vmmx64":
-        return VMMXMachine(mem, trace, row_bytes=8)
-    if isa == "vmmx128":
-        return VMMXMachine(mem, trace, row_bytes=16)
-    raise ValueError(f"unknown ISA {isa!r}; expected one of {VERSION_NAMES}")
+    from repro.machines import find_geometry, program_of
+
+    geometry = find_geometry(program_of(isa))
+    if geometry is None:
+        raise ValueError(
+            f"unknown ISA {isa!r}; expected 'scalar' or a registered "
+            "machine name (see repro.machines.machine_names())"
+        )
+    if geometry.matrix:
+        return VMMXMachine(mem, trace, geometry=geometry)
+    return MMXMachine(mem, trace, geometry=geometry)
 
 
 __all__ = [

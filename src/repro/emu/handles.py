@@ -29,10 +29,15 @@ class SReg:
 
 @dataclass
 class VReg:
-    """A 1-D SIMD register value (8 bytes for MMX64, 16 for MMX128)."""
+    """A 1-D SIMD register value.
+
+    The byte length is the owning machine's
+    :attr:`~repro.machines.SimdGeometry.row_bytes` (8 for MMX64, 16 for
+    MMX128, wider for registered custom geometries).
+    """
 
     rid: int
-    data: np.ndarray  # uint8, length == machine width
+    data: np.ndarray  # uint8, length == geometry.row_bytes
 
     def view(self, dtype: np.dtype) -> np.ndarray:
         """Reinterpret the register bytes as packed lanes of ``dtype``."""
@@ -41,10 +46,15 @@ class VReg:
 
 @dataclass
 class MReg:
-    """A 2-D matrix register value: (max_vl, row_bytes) bytes."""
+    """A 2-D matrix register value.
+
+    Shaped by the owning machine's geometry:
+    (:attr:`~repro.machines.SimdGeometry.max_vl`,
+    :attr:`~repro.machines.SimdGeometry.row_bytes`) bytes.
+    """
 
     rid: int
-    data: np.ndarray  # uint8, shape (max_vl, row_bytes)
+    data: np.ndarray  # uint8, shape (geometry.max_vl, geometry.row_bytes)
 
     def rows_view(self, dtype: np.dtype) -> np.ndarray:
         """Reinterpret each row as packed lanes of ``dtype``."""

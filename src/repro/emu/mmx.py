@@ -12,7 +12,7 @@ trace builder for the timing model.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -22,20 +22,50 @@ from repro.emu.scalar import Operand, ScalarMachine
 from repro.isa import subword as sw
 from repro.isa.opcodes import Category, FUClass, Latency
 from repro.isa.trace import Trace
+from repro.machines.spec import SimdGeometry
 
 
 class MMXMachine(ScalarMachine):
-    """A superscalar core with a 1-D SIMD extension of ``width`` bytes."""
+    """A superscalar core with a 1-D SIMD extension.
 
-    def __init__(self, mem: Memory, trace: Optional[Trace] = None, width: int = 8) -> None:
-        if width not in (8, 16):
-            raise ValueError("MMX register width must be 8 (MMX64) or 16 (MMX128)")
+    The register geometry comes from a
+    :class:`~repro.machines.SimdGeometry` (``geometry=``); the legacy
+    ``width=`` byte count remains accepted and is converted to an
+    equivalent geometry.  Any positive power-of-two row width emulates
+    -- which program idioms a width supports is the kernels' business.
+    """
+
+    def __init__(
+        self,
+        mem: Memory,
+        trace: Optional[Trace] = None,
+        width: Optional[int] = None,
+        geometry: Optional[SimdGeometry] = None,
+    ) -> None:
+        if geometry is not None and width is not None and width != geometry.row_bytes:
+            raise ValueError(
+                f"width={width} contradicts geometry.row_bytes={geometry.row_bytes}"
+            )
+        if geometry is None:
+            row_bytes = 8 if width is None else width
+            geometry = SimdGeometry(
+                row_bytes=row_bytes, lanes=1, max_vl=1,
+                logical_regs=32, matrix=False,
+            )
+        if geometry.matrix:
+            raise ValueError("MMXMachine needs a 1-D (non-matrix) geometry")
+        row = geometry.row_bytes
+        if row < 8 or row & (row - 1):
+            raise ValueError(
+                f"MMX register width must be a power of two >= 8 bytes, got {row}"
+            )
         super().__init__(mem, trace)
-        self.width = width
+        self.geometry = geometry
+        self.width = geometry.row_bytes
 
     @property
     def isa_name(self) -> str:
-        return "mmx64" if self.width == 8 else "mmx128"
+        return f"mmx{8 * self.width}"
 
     # -- plumbing ----------------------------------------------------------
 

@@ -25,28 +25,59 @@ from repro.emu.scalar import Operand, ScalarMachine
 from repro.isa import subword as sw
 from repro.isa.opcodes import Category, FUClass, Latency
 from repro.isa.trace import Trace
+from repro.machines.spec import SimdGeometry
 
 
 class VMMXMachine(ScalarMachine):
-    """A superscalar core with a MOM-style 2-D matrix extension."""
+    """A superscalar core with a MOM-style 2-D matrix extension.
 
+    The register geometry (row width *and* maximum vector length) comes
+    from a :class:`~repro.machines.SimdGeometry` (``geometry=``); the
+    legacy ``row_bytes=`` argument remains accepted and is converted to
+    an equivalent 16-row geometry.
+    """
+
+    #: Default rows per matrix register (the paper's MAX_VL).
     MAX_VL = 16
 
-    def __init__(self, mem: Memory, trace: Optional[Trace] = None, row_bytes: int = 8) -> None:
-        if row_bytes not in (8, 16):
-            raise ValueError("VMMX row width must be 8 (VMMX64) or 16 (VMMX128)")
+    def __init__(
+        self,
+        mem: Memory,
+        trace: Optional[Trace] = None,
+        row_bytes: Optional[int] = None,
+        geometry: Optional[SimdGeometry] = None,
+    ) -> None:
+        if geometry is not None and row_bytes is not None and row_bytes != geometry.row_bytes:
+            raise ValueError(
+                f"row_bytes={row_bytes} contradicts "
+                f"geometry.row_bytes={geometry.row_bytes}"
+            )
+        if geometry is None:
+            geometry = SimdGeometry(
+                row_bytes=8 if row_bytes is None else row_bytes,
+                lanes=4, max_vl=self.MAX_VL, logical_regs=16, matrix=True,
+            )
+        if not geometry.matrix:
+            raise ValueError("VMMXMachine needs a matrix geometry")
+        row = geometry.row_bytes
+        if row < 8 or row & (row - 1):
+            raise ValueError(
+                f"VMMX row width must be a power of two >= 8 bytes, got {row}"
+            )
         super().__init__(mem, trace)
-        self.row_bytes = row_bytes
-        self.vl = self.MAX_VL
+        self.geometry = geometry
+        self.row_bytes = geometry.row_bytes
+        self.max_vl = geometry.max_vl
+        self.vl = self.max_vl
 
     @property
     def isa_name(self) -> str:
-        return "vmmx64" if self.row_bytes == 8 else "vmmx128"
+        return f"vmmx{8 * self.row_bytes}"
 
     # -- plumbing ----------------------------------------------------------
 
     def _mreg(self, rows: np.ndarray) -> MReg:
-        data = np.zeros((self.MAX_VL, self.row_bytes), dtype=np.uint8)
+        data = np.zeros((self.max_vl, self.row_bytes), dtype=np.uint8)
         rows = np.ascontiguousarray(rows).view(np.uint8).reshape(-1, self.row_bytes)
         data[: rows.shape[0]] = rows
         return MReg(self._new_id(), data)
@@ -80,8 +111,8 @@ class VMMXMachine(ScalarMachine):
     def setvl(self, length: Union[int, SReg]) -> None:
         """Set the vector length (rows processed by subsequent instructions)."""
         value = self._val(length)
-        if not 1 <= value <= self.MAX_VL:
-            raise ValueError(f"vector length {value} outside [1, {self.MAX_VL}]")
+        if not 1 <= value <= self.max_vl:
+            raise ValueError(f"vector length {value} outside [1, {self.max_vl}]")
         self.vl = value
         self._emit("setvl", Category.SARITH, FUClass.INT, Latency.INT_ALU, (), self._src_ids(length))
 
@@ -205,7 +236,7 @@ class VMMXMachine(ScalarMachine):
     def vmadd_s16(self, a: MReg, b: MReg) -> MReg:
         """Row-wise ``PMADDWD``: adjacent s16 pairs multiplied and summed to s32."""
         a_rows = self._active(a, "s16").reshape(self.vl, -1).astype(np.int64)
-        b_rows = b.data.view(np.int16).reshape(self.MAX_VL, -1)[: self.vl].astype(np.int64)
+        b_rows = b.data.view(np.int16).reshape(self.max_vl, -1)[: self.vl].astype(np.int64)
         prod = a_rows * b_rows
         pairs = prod.reshape(self.vl, -1, 2).sum(axis=2)
         out = sw.wrap(pairs, "s32")
@@ -216,7 +247,7 @@ class VMMXMachine(ScalarMachine):
     def vinterleave(self, a: MReg, b: MReg, dtype: str = "u16", half: str = "lo") -> MReg:
         """Row-wise ``PUNPCKL/H``: interleave lane halves of each row pair."""
         a_rows = self._active(a, dtype).reshape(self.vl, -1)
-        b_rows = b.data.view(sw.STORAGE[dtype]).reshape(self.MAX_VL, -1)[: self.vl]
+        b_rows = b.data.view(sw.STORAGE[dtype]).reshape(self.max_vl, -1)[: self.vl]
         lanes = a_rows.shape[1]
         sel = slice(0, lanes // 2) if half == "lo" else slice(lanes // 2, lanes)
         out = np.empty_like(a_rows)
@@ -234,7 +265,7 @@ class VMMXMachine(ScalarMachine):
         """
         a_rows = self._active(a, "s32").reshape(self.vl, -1)
         if b is not None:
-            b_rows = b.data.view(np.int32).reshape(self.MAX_VL, -1)[: self.vl]
+            b_rows = b.data.view(np.int32).reshape(self.max_vl, -1)[: self.vl]
             merged = np.concatenate([a_rows, b_rows], axis=1)
         else:
             merged = a_rows
@@ -308,7 +339,7 @@ class VMMXMachine(ScalarMachine):
     # -- matrix multiply-accumulate ------------------------------------------
 
     def macc_zero(self, dtype: str = "s16") -> MAccReg:
-        macc = MAccReg(self._new_id(), np.zeros((self.MAX_VL, self._cols(dtype)), dtype=np.int64))
+        macc = MAccReg(self._new_id(), np.zeros((self.max_vl, self._cols(dtype)), dtype=np.int64))
         self._vemit("vmacc.clr", Latency.SIMD_ALU, (macc.rid,), rows=1)
         return macc
 
@@ -322,7 +353,7 @@ class VMMXMachine(ScalarMachine):
         registers").
         """
         a_lanes = self._active(a, dtype).reshape(self.vl, -1).astype(np.int64)
-        b_lanes = b.data.view(sw.STORAGE[dtype]).reshape(self.MAX_VL, -1).astype(np.int64)
+        b_lanes = b.data.view(sw.STORAGE[dtype]).reshape(self.max_vl, -1).astype(np.int64)
         parts = macc.parts.copy()
         parts[: self.vl] += np.outer(a_lanes[:, col], b_lanes[row])
         out = MAccReg(self._new_id(), parts)
@@ -351,7 +382,7 @@ class VMMXMachine(ScalarMachine):
 
     def vextract_row(self, m: MReg, row: int, dtype: str = "s16", lane: int = 0) -> SReg:
         """Move one lane of one row to the scalar register file."""
-        value = int(m.data.view(sw.STORAGE[dtype]).reshape(self.MAX_VL, -1)[row, lane])
+        value = int(m.data.view(sw.STORAGE[dtype]).reshape(self.max_vl, -1)[row, lane])
         dst = self._sreg(value)
         self._emit("vext", Category.VARITH, FUClass.SIMD, Latency.SIMD_ALU, (dst.rid,), (m.rid,))
         return dst

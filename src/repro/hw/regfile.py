@@ -92,35 +92,53 @@ class RegFileGeometry:
         return self.read_ports_per_bank + self.write_ports_per_bank
 
 
+#: Banks per lane of the partitioned MOM file (Table I column).
+_MATRIX_BANKS_PER_LANE = {2: 2, 4: 2, 8: 4}
+
+
 def _geometry(isa: str, way: int) -> RegFileGeometry:
-    matrix = isa.startswith("vmmx")
-    row_bits = 128 if isa.endswith("128") else 64
-    idx = {2: 0, 4: 1, 8: 2}[way]
-    if matrix:
+    """Register-file organisation of one registered machine.
+
+    Geometry (row width, lanes, register counts, matrix capability) and
+    the scaled physical-register/functional-unit counts all come from
+    the machine registry -- any registered machine, not just the
+    paper's table rows, gets a register-file model.
+    """
+    from repro.machines import get_machine
+
+    spec = get_machine(isa, way)
+    geometry = spec.geometry
+    if geometry.matrix:
+        banks = _MATRIX_BANKS_PER_LANE.get(way)
+        if banks is None:
+            # Beyond the table: banks track the functional-unit groups,
+            # which is what each bank locally feeds.
+            banks = max(2, spec.core.simd_fu_groups)
         return RegFileGeometry(
             isa=isa,
             way=way,
-            logical_regs=16,
-            physical_regs=(20, 36, 64)[idx],
-            lanes=4,
-            banks_per_lane=(2, 2, 4)[idx],
+            logical_regs=geometry.logical_regs,
+            physical_regs=spec.core.phys_simd_regs,
+            lanes=geometry.lanes,
+            banks_per_lane=banks,
             read_ports_per_bank=3,
             write_ports_per_bank=2,
-            row_bits=row_bits,
-            rows_per_reg=16,
+            row_bits=geometry.row_bits,
+            rows_per_reg=geometry.max_vl,
         )
-    simd_fus = way
+    # Centralized 1-D file: every full-width SIMD unit needs 3R/2W.
+    simd_fus = spec.core.simd_fu_groups
     return RegFileGeometry(
         isa=isa,
         way=way,
-        logical_regs=32,
-        physical_regs=(40, 64, 96)[idx],
-        lanes=1,
+        logical_regs=geometry.logical_regs,
+        physical_regs=spec.core.phys_simd_regs,
+        lanes=geometry.lanes,
         banks_per_lane=1,
         read_ports_per_bank=3 * simd_fus,
         write_ports_per_bank=2 * simd_fus,
-        row_bits=row_bits,
-        rows_per_reg=1,
+        row_bits=geometry.row_bits,
+        rows_per_reg=geometry.max_vl,
     )
 
 
@@ -139,13 +157,19 @@ def area_model(geometry: RegFileGeometry, pitch: float = DEFAULT_PITCH) -> float
     return geometry.banks * geometry.entries_per_bank * geometry.row_bits * cell
 
 
+def regfile_geometry(isa: str, way: int) -> RegFileGeometry:
+    """Geometry of any registered machine (paper rows come precomputed)."""
+    hit = REGFILES.get((isa, way))
+    return hit if hit is not None else _geometry(isa, way)
+
+
 def area_ratio(
     isa: str, way: int, pitch: float = DEFAULT_PITCH,
     baseline: Tuple[str, int] = ("mmx64", 4),
 ) -> float:
     """Area normalised to the 4-way MMX64 file, as in Table I."""
-    return area_model(REGFILES[(isa, way)], pitch) / area_model(
-        REGFILES[baseline], pitch
+    return area_model(regfile_geometry(isa, way), pitch) / area_model(
+        regfile_geometry(*baseline), pitch
     )
 
 

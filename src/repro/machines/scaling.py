@@ -1,0 +1,200 @@
+"""Per-family resource-scaling curves.
+
+Table III/IV give each resource at three machine widths (2/4/8-way).
+A :class:`ScalingCurve` turns those columns into a *rule*: anchored
+exactly at the paper's widths and extended geometrically in
+``log2(way)`` space between and beyond them, so doubling the way keeps
+multiplying a resource by the same factor the table's last doubling
+did.  That is how the paper itself scales resources ("we scale the
+number of functional units, registers and cache ports with the issue
+width"), and it makes every width -- 16-way, 3-way, 32-way -- a derived
+data point instead of a new code path.
+
+:class:`CoreScaling` and :class:`MemScaling` bundle the curves of one
+machine family; :func:`build_core` / :func:`build_mem` evaluate them
+into the frozen config dataclasses for a concrete way.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.machines.spec import (
+    CacheConfig,
+    CoreConfig,
+    MemHierConfig,
+    SimdGeometry,
+)
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    """One resource as a function of machine width.
+
+    ``anchors`` maps way -> exact value (the published table column).
+    Between anchors the curve interpolates geometrically in
+    ``log2(way)``; beyond the ends it extrapolates with the growth
+    factor of the nearest anchor pair.  A single-anchor curve is
+    constant.  Integer curves round to the nearest integer and clamp at
+    ``minimum``.
+    """
+
+    anchors: Tuple[Tuple[int, float], ...]
+    integer: bool = True
+    minimum: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.anchors:
+            raise ValueError("ScalingCurve needs at least one anchor")
+        ways = [way for way, _ in self.anchors]
+        if any(way < 1 for way in ways):
+            raise ValueError(f"anchor ways must be positive, got {ways}")
+        if ways != sorted(set(ways)):
+            raise ValueError(f"anchor ways must be strictly increasing, got {ways}")
+        if any(value <= 0 for _, value in self.anchors):
+            raise ValueError("anchor values must be positive (geometric rule)")
+
+    @classmethod
+    def at_ways(cls, values: Mapping[int, float], **kw) -> "ScalingCurve":
+        return cls(anchors=tuple(sorted((int(w), float(v)) for w, v in values.items())), **kw)
+
+    @classmethod
+    def constant(cls, value: float, **kw) -> "ScalingCurve":
+        return cls(anchors=((1, float(value)),), **kw)
+
+    @classmethod
+    def proportional(cls, per_way: float = 1.0, **kw) -> "ScalingCurve":
+        """value == per_way * way at every width (e.g. fetch width)."""
+        return cls(anchors=((1, per_way), (2, 2 * per_way)), **kw)
+
+    def at(self, way: int) -> float:
+        """Evaluate the curve (exact at anchors, geometric elsewhere)."""
+        if not isinstance(way, int) or way < 1:
+            raise ValueError(f"way must be a positive integer, got {way!r}")
+        anchors = self.anchors
+        for anchor_way, value in anchors:
+            if anchor_way == way:
+                return self._snap(value)
+        if len(anchors) == 1:
+            return self._snap(anchors[0][1])
+        if way <= anchors[0][0]:
+            (w0, v0), (w1, v1) = anchors[0], anchors[1]
+        elif way >= anchors[-1][0]:
+            (w0, v0), (w1, v1) = anchors[-2], anchors[-1]
+        else:
+            (w0, v0), (w1, v1) = next(
+                (anchors[i], anchors[i + 1])
+                for i in range(len(anchors) - 1)
+                if anchors[i][0] < way < anchors[i + 1][0]
+            )
+        t = (math.log2(way) - math.log2(w0)) / (math.log2(w1) - math.log2(w0))
+        value = v0 * (v1 / v0) ** t
+        return self._snap(value)
+
+    def at_int(self, way: int) -> int:
+        value = self.at(way)
+        return int(value) if self.integer else int(round(value))
+
+    def _snap(self, value: float) -> float:
+        if self.integer:
+            value = float(round(value))
+        return max(self.minimum, value)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "anchors": [list(pair) for pair in self.anchors],
+            "integer": self.integer,
+            "minimum": self.minimum,
+        }
+
+
+@dataclass(frozen=True)
+class CoreScaling:
+    """Core-resource curves of one machine family (Table III column set)."""
+
+    fp_fus: ScalingCurve
+    simd_issue: ScalingCurve
+    simd_fu_groups: ScalingCurve
+    mem_ports: ScalingCurve
+    phys_simd_regs: ScalingCurve
+    rob_size: ScalingCurve
+    branch_penalty: int = 8
+    vector_startup: int = 1
+
+
+@dataclass(frozen=True)
+class MemScaling:
+    """Memory-hierarchy curves of one machine family (Table IV)."""
+
+    l1_ports: ScalingCurve
+    l2_port_bytes: ScalingCurve
+    strided_rows_per_cycle: ScalingCurve
+    l1_size: int = 32 * 1024
+    l1_assoc: int = 4
+    l1_line: int = 32
+    l1_latency: int = 3
+    l1_port_bytes: int = 8
+    l2_size: int = 512 * 1024
+    l2_assoc: int = 2
+    l2_line: int = 128
+    l2_latency: int = 12
+    l2_ports: int = 1
+    main_latency: int = 500
+
+
+def build_core(
+    name: str, way: int, geometry: SimdGeometry, scaling: CoreScaling
+) -> CoreConfig:
+    """Evaluate a family's core curves into one :class:`CoreConfig`."""
+    return CoreConfig(
+        isa=name,
+        way=way,
+        fetch_width=way,
+        commit_width=way,
+        int_fus=way,
+        fp_fus=scaling.fp_fus.at_int(way),
+        simd_issue=scaling.simd_issue.at_int(way),
+        simd_fu_groups=scaling.simd_fu_groups.at_int(way),
+        lanes=geometry.lanes,
+        mem_ports=scaling.mem_ports.at_int(way),
+        phys_simd_regs=scaling.phys_simd_regs.at_int(way),
+        logical_simd_regs=geometry.logical_regs,
+        rob_size=scaling.rob_size.at_int(way),
+        branch_penalty=scaling.branch_penalty,
+        vector_startup=scaling.vector_startup,
+    )
+
+
+def build_mem(way: int, scaling: MemScaling) -> MemHierConfig:
+    """Evaluate a family's memory curves into one :class:`MemHierConfig`."""
+    return MemHierConfig(
+        l1=CacheConfig(
+            size=scaling.l1_size,
+            assoc=scaling.l1_assoc,
+            line=scaling.l1_line,
+            latency=scaling.l1_latency,
+            ports=scaling.l1_ports.at_int(way),
+            port_bytes=scaling.l1_port_bytes,
+        ),
+        l2=CacheConfig(
+            size=scaling.l2_size,
+            assoc=scaling.l2_assoc,
+            line=scaling.l2_line,
+            latency=scaling.l2_latency,
+            ports=scaling.l2_ports,
+            port_bytes=scaling.l2_port_bytes.at_int(way),
+        ),
+        main_latency=scaling.main_latency,
+        strided_rows_per_cycle=scaling.strided_rows_per_cycle.at(way),
+    )
+
+
+__all__ = [
+    "CoreScaling",
+    "MemScaling",
+    "ScalingCurve",
+    "build_core",
+    "build_mem",
+]

@@ -39,6 +39,7 @@ from repro.sweep.points import (
     fig7_points,
     full_points,
     grid,
+    machine_grid,
 )
 from repro.sweep.store import (
     ResultStore,

@@ -34,12 +34,8 @@ from repro.sweep.store import (
     trace_from_payload,
     trace_to_payload,
 )
-from repro.timing.config import (
-    CoreConfig,
-    MemHierConfig,
-    get_config,
-    get_mem_config,
-)
+from repro.machines import get_machine
+from repro.timing.config import CoreConfig, MemHierConfig
 from repro.timing.simulator import KernelTiming, simulate_trace
 
 #: Sentinel distinguishing "use the default store" from "no store".
@@ -102,11 +98,25 @@ def clear_trace_memo() -> None:
 
 
 def resolve_configs(point: SweepPoint) -> Tuple[CoreConfig, MemHierConfig]:
-    """The fully-resolved machine a point runs on, overrides applied."""
-    config = get_config(point.version, point.way)
+    """The fully-resolved machine a point runs on, overrides applied.
+
+    Resolution goes through the machine registry: the point's machine
+    name (its ``version`` unless the ``machine`` axis is set) yields a
+    :class:`~repro.machines.MachineSpec` at any positive way, whose
+    program must match the point's kernel version -- timing a binary on
+    a machine that does not execute it is a caller error.
+    """
+    spec = get_machine(point.machine_name, point.way)
+    if spec.program != point.version:
+        raise ValueError(
+            f"machine {spec.name!r} executes {spec.program!r} binaries, "
+            f"but point {point.label!r} names kernel version "
+            f"{point.version!r}"
+        )
+    config = spec.core
+    mem = spec.mem
     if point.core_overrides:
         config = dataclasses.replace(config, **dict(point.core_overrides))
-    mem = get_mem_config(point.way)
     for dotted, value in point.mem_overrides:
         head, _, rest = dotted.partition(".")
         if rest:
@@ -122,26 +132,46 @@ def point_key(point: SweepPoint) -> str:
 
     Hashes the point itself, the *resolved* configuration (so editing a
     Table III/IV constant re-addresses every affected record even though
-    the point spelling is unchanged) and the simulator code digest.
+    the point spelling is unchanged), the machine's vector-memory
+    capability (the one timing input that lives in the registered
+    geometry rather than the config dataclasses) and the simulator code
+    digest.
     """
+    from repro.machines import find_geometry
+
     config, mem = resolve_configs(point)
-    return record_key(
-        "kernel-timing",
-        {"point": point.as_dict(), "config": config_fingerprint(config, mem)},
-    )
+    identity: Dict[str, Any] = {
+        "point": point.as_dict(),
+        "config": config_fingerprint(config, mem),
+    }
+    geometry = find_geometry(point.machine_name)
+    if geometry is not None:
+        identity["capabilities"] = {"vector_memory": geometry.matrix}
+    return record_key("kernel-timing", identity)
 
 
 def trace_key(point: SweepPoint) -> str:
     """Content address of a point's *dynamic trace* record.
 
-    Traces depend only on (kernel, version, seed) -- never on the
-    machine width or configuration overrides the point times them on --
-    so every way/ablation variant of a kernel shares one stored trace.
+    Traces depend only on (kernel, program version, seed) and the
+    program's architected register geometry -- never on the machine
+    width, the ``machine`` axis or configuration overrides the point
+    times them on -- so every way/machine/ablation variant of a kernel
+    shares one stored trace (``mmx256`` points re-time the ``mmx128``
+    trace), while editing a registered geometry re-addresses the traces
+    it produced.
     """
-    return record_key(
-        "trace",
-        {"kernel": point.kernel, "version": point.version, "seed": point.seed},
-    )
+    from repro.machines import find_geometry
+
+    identity: Dict[str, Any] = {
+        "kernel": point.kernel,
+        "version": point.version,
+        "seed": point.seed,
+    }
+    geometry = find_geometry(point.version)
+    if geometry is not None:
+        identity["geometry"] = geometry.to_dict()
+    return record_key("trace", identity)
 
 
 def acquire_trace(point: SweepPoint, store: Any = _USE_DEFAULT) -> ColumnarTrace:
@@ -219,6 +249,7 @@ def compute_point(point: SweepPoint, store: Any = _USE_DEFAULT) -> KernelTiming:
         result=result,
         batch=spec.batch,
         seed=point.seed,
+        machine=point.machine,
     )
 
 
@@ -407,5 +438,6 @@ def _publish_to_memo(results: Dict[SweepPoint, KernelTiming]) -> None:
     for point, timing in results.items():
         if not point.core_overrides and not point.mem_overrides:
             simulator.memo_put(
-                point.kernel, point.version, point.way, point.seed, timing
+                point.kernel, point.version, point.way, point.seed, timing,
+                machine=point.machine,
             )

@@ -10,30 +10,57 @@ result order are reproducible regardless of how it executes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 Overrides = Union[Mapping[str, Any], Sequence[Tuple[str, Any]], None]
 
+#: Override values must be hashable (points are dict keys) and
+#: JSON-stable (points are store addresses); these scalar types are both.
+_SCALAR_OVERRIDE_TYPES = (bool, int, float, str, type(None))
+
 
 def _freeze_overrides(overrides: Overrides) -> Tuple[Tuple[str, Any], ...]:
-    """Normalise overrides to a sorted, hashable tuple of (name, value)."""
+    """Normalise overrides to a sorted, hashable tuple of (name, value).
+
+    Rejects non-scalar values up front: a list or dict here used to
+    surface later as an opaque ``TypeError: unhashable type`` from the
+    frozen dataclass (or as a corrupt store address), with no hint of
+    which override was at fault.
+    """
     if not overrides:
         return ()
     if isinstance(overrides, Mapping):
         items = overrides.items()
     else:
         items = tuple(overrides)
-    return tuple(sorted((str(k), v) for k, v in items))
+    frozen = []
+    for k, v in items:
+        if not isinstance(v, _SCALAR_OVERRIDE_TYPES):
+            raise TypeError(
+                f"override {str(k)!r} has non-scalar value {v!r} "
+                f"({type(v).__name__}); override values must be "
+                "JSON-stable scalars (bool, int, float, str or None) so "
+                "points stay hashable and store-addressable"
+            )
+        frozen.append((str(k), v))
+    return tuple(sorted(frozen))
 
 
 @dataclass(frozen=True)
 class SweepPoint:
     """One point of the design space: kernel x version x machine x seed.
 
-    ``core_overrides`` patches :class:`~repro.timing.config.CoreConfig`
+    ``version`` names the kernel *program* (the emulation ISA the trace
+    is generated with); ``machine`` optionally names a registered
+    machine that executes that program -- ``None`` (the default, and
+    the normalised form when it equals ``version``) means the program's
+    own architected machine, which is exactly the pre-machine-axis
+    behaviour, so legacy points hash and address identically.
+
+    ``core_overrides`` patches :class:`~repro.machines.CoreConfig`
     fields (``lanes``, ``mem_ports``, ...); ``mem_overrides`` patches the
     memory hierarchy with dotted paths into
-    :class:`~repro.timing.config.MemHierConfig` (``l2.port_bytes``,
+    :class:`~repro.machines.MemHierConfig` (``l2.port_bytes``,
     ``strided_rows_per_cycle``, ...).
     """
 
@@ -43,6 +70,7 @@ class SweepPoint:
     seed: int = 0
     core_overrides: Tuple[Tuple[str, Any], ...] = ()
     mem_overrides: Tuple[Tuple[str, Any], ...] = ()
+    machine: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -51,11 +79,20 @@ class SweepPoint:
         object.__setattr__(
             self, "mem_overrides", _freeze_overrides(self.mem_overrides)
         )
+        if self.machine == self.version:
+            object.__setattr__(self, "machine", None)
+
+    @property
+    def machine_name(self) -> str:
+        """The registered machine this point times on."""
+        return self.machine if self.machine is not None else self.version
 
     @property
     def label(self) -> str:
         """Short human-readable name used in progress reporting."""
         text = f"{self.kernel}/{self.version}/{self.way}way"
+        if self.machine is not None:
+            text += f"@{self.machine}"
         if self.seed:
             text += f"/seed{self.seed}"
         for name, value in self.core_overrides + self.mem_overrides:
@@ -63,8 +100,13 @@ class SweepPoint:
         return text
 
     def as_dict(self) -> Dict[str, Any]:
-        """JSON-stable description of the point (for hashing/records)."""
-        return {
+        """JSON-stable description of the point (for hashing/records).
+
+        The ``machine`` key only appears when the axis is actually used,
+        so every pre-existing point keeps its exact historical identity
+        (the store-key stability tests pin this).
+        """
+        data = {
             "kernel": self.kernel,
             "version": self.version,
             "way": self.way,
@@ -72,6 +114,9 @@ class SweepPoint:
             "core_overrides": [list(item) for item in self.core_overrides],
             "mem_overrides": [list(item) for item in self.mem_overrides],
         }
+        if self.machine is not None:
+            data["machine"] = self.machine
+        return data
 
 
 def grid(
@@ -98,6 +143,41 @@ def grid(
         )
         for kernel in kernels
         for version in versions
+        for way in ways
+        for seed in seeds
+    ]
+
+
+def machine_grid(
+    kernels: Sequence[str],
+    machines: Sequence[str],
+    ways: Sequence[int],
+    seeds: Sequence[int] = (0,),
+    core_overrides: Overrides = None,
+    mem_overrides: Overrides = None,
+) -> List[SweepPoint]:
+    """Cartesian product over *registered machines* instead of ISAs.
+
+    Each machine resolves its kernel version through the registry: the
+    point's ``version`` is the machine's program (so ``mmx256`` points
+    reuse the stored ``mmx128`` traces) and the ``machine`` axis carries
+    the machine name whenever it differs.  Nesting order matches
+    :func:`grid`: kernel > machine > way > seed.
+    """
+    from repro.machines import program_of
+
+    return [
+        SweepPoint(
+            kernel=kernel,
+            version=program_of(machine),
+            way=way,
+            seed=seed,
+            core_overrides=core_overrides,
+            mem_overrides=mem_overrides,
+            machine=machine,
+        )
+        for kernel in kernels
+        for machine in machines
         for way in ways
         for seed in seeds
     ]

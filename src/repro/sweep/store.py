@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Optional
 
 from repro.isa.trace import ColumnarTrace
+from repro.machines.spec import canonical_json, stable_hash
 from repro.timing.config import CoreConfig, MemHierConfig
 from repro.timing.core import SimResult
 from repro.timing.simulator import KernelTiming
@@ -56,14 +57,8 @@ STORE_ENV = "REPRO_STORE"
 DEFAULT_STORE_ROOT = os.path.join("~", ".cache", "repro-sweep")
 
 
-def canonical_json(obj: Any) -> str:
-    """Canonical (sorted, compact) JSON used for hashing and equality."""
-    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
-
-
-def stable_hash(obj: Any) -> str:
-    """SHA-256 of the canonical JSON form (stable across processes)."""
-    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+# canonical_json / stable_hash are shared with repro.machines.spec (one
+# canonicalisation rule for store addresses and machine fingerprints).
 
 
 @lru_cache(maxsize=1)
@@ -79,7 +74,12 @@ def code_version() -> str:
     root = Path(repro.__file__).resolve().parent
     digest = hashlib.sha256()
     digest.update(f"schema={SCHEMA_VERSION}".encode())
-    for package in ("isa", "emu", "kernels", "workloads", "hw", "timing", "apps"):
+    # "machines" is included because registered geometries and scaling
+    # curves define what every simulation computes, exactly like the
+    # legacy config tables they replaced.
+    for package in (
+        "isa", "emu", "kernels", "machines", "workloads", "hw", "timing", "apps"
+    ):
         base = root / package
         for path in sorted(base.rglob("*.py")):
             digest.update(path.relative_to(root).as_posix().encode())
@@ -162,7 +162,7 @@ def sim_result_from_dict(data: Dict[str, Any]) -> SimResult:
 
 
 def kernel_timing_to_dict(timing: KernelTiming) -> Dict[str, Any]:
-    return {
+    payload = {
         "kernel": timing.kernel,
         "version": timing.version,
         "way": timing.way,
@@ -170,6 +170,11 @@ def kernel_timing_to_dict(timing: KernelTiming) -> Dict[str, Any]:
         "batch": timing.batch,
         "result": sim_result_to_dict(timing.result),
     }
+    # Only decoupled machine-axis timings carry the key, so the classic
+    # (isa, way) record shape is byte-for-byte what it always was.
+    if timing.machine is not None:
+        payload["machine"] = timing.machine
+    return payload
 
 
 def kernel_timing_from_dict(data: Dict[str, Any]) -> KernelTiming:
@@ -180,6 +185,7 @@ def kernel_timing_from_dict(data: Dict[str, Any]) -> KernelTiming:
         result=sim_result_from_dict(data["result"]),
         batch=data["batch"],
         seed=data.get("seed", 0),
+        machine=data.get("machine"),
     )
 
 

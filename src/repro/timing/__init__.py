@@ -1,5 +1,11 @@
-"""Trace-driven timing model of the paper's simulated processors."""
+"""Trace-driven timing model of the simulated processors.
 
+Machine descriptions live in :mod:`repro.machines`; the legacy
+``CONFIGS``/``get_config`` surface re-exported here is a deprecation
+shim over that registry (see :mod:`repro.timing.config`).
+"""
+
+from repro.machines import MachineSpec, SimdGeometry, get_machine
 from repro.timing.caches import BimodalPredictor, Cache, MemoryHierarchy
 from repro.timing.config import (
     CONFIGS,
@@ -17,7 +23,8 @@ from repro.timing.simulator import simulate_kernel, simulate_trace
 
 __all__ = [
     "BimodalPredictor", "CONFIGS", "Cache", "CoreConfig", "CoreModel",
-    "ISAS", "MEM_CONFIGS", "MemHierConfig", "MemoryHierarchy", "SimResult",
-    "WAYS", "get_config", "get_mem_config", "simulate_kernel",
-    "simulate_trace", "with_overrides",
+    "ISAS", "MachineSpec", "MEM_CONFIGS", "MemHierConfig",
+    "MemoryHierarchy", "SimdGeometry", "SimResult", "WAYS", "get_config",
+    "get_machine", "get_mem_config", "simulate_kernel", "simulate_trace",
+    "with_overrides",
 ]

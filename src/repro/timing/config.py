@@ -1,153 +1,106 @@
-"""Processor and memory-hierarchy configurations (Tables III and IV).
+"""Legacy processor/memory configuration surface (deprecation shim).
 
-The paper evaluates a 2/4/8-way out-of-order superscalar core (MIPS
-R10000-like baseline) with one of four multimedia extensions.  This
-module encodes Table III (core resources per way and extension family)
-and Table IV (two-level cache hierarchy with a vector cache for the VMMX
-configurations and a 500-cycle Direct-RAMBUS-like main memory).
+The authoritative machine descriptions now live in :mod:`repro.machines`
+-- a registry of :class:`~repro.machines.MachineSpec` built from
+per-family resource-scaling curves.  This module keeps the original
+Table III/IV API alive for one release:
+
+* ``CONFIGS`` / ``MEM_CONFIGS`` -- the twelve paper ``(isa, way)``
+  points and their per-way memory hierarchies, resolved through the
+  registry (values are field-for-field identical to the old hardcoded
+  tables; the shim-equivalence tests pin this).
+* ``get_config`` / ``get_mem_config`` / ``with_overrides`` -- thin
+  wrappers; new code should call :func:`repro.machines.get_machine`,
+  which also derives widths beyond the paper's 2/4/8-way columns.
+* ``ROW_BYTES`` / ``LOGICAL_REGS`` / ``MAX_VL`` -- geometry lookups now
+  derived from each registered family's :class:`~repro.machines.SimdGeometry`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import replace
 from typing import Dict, Tuple
+
+from repro.machines import get_machine
+from repro.machines.registry import UnknownMachineError, get_family, is_registered
+from repro.machines.spec import (  # noqa: F401 -- re-exported legacy names
+    CacheConfig,
+    CoreConfig,
+    MemHierConfig,
+    SimdGeometry,
+)
 
 WAYS = (2, 4, 8)
 ISAS = ("mmx64", "mmx128", "vmmx64", "vmmx128")
 
 #: Bytes of one SIMD register / matrix-register row per ISA.
-ROW_BYTES = {"mmx64": 8, "mmx128": 16, "vmmx64": 8, "vmmx128": 16}
+ROW_BYTES = {isa: get_family(isa).geometry.row_bytes for isa in ISAS}
 
 #: Logical SIMD registers per ISA family (Table I).
-LOGICAL_REGS = {"mmx64": 32, "mmx128": 32, "vmmx64": 16, "vmmx128": 16}
+LOGICAL_REGS = {isa: get_family(isa).geometry.logical_regs for isa in ISAS}
 
 #: Maximum vector length of the matrix extensions.
-MAX_VL = 16
-
-
-@dataclass(frozen=True)
-class CacheConfig:
-    """Geometry and timing of one cache level (Table IV)."""
-
-    size: int
-    assoc: int
-    line: int
-    latency: int
-    ports: int
-    port_bytes: int
-
-
-@dataclass(frozen=True)
-class MemHierConfig:
-    """The full memory hierarchy for one (way, family) pair."""
-
-    l1: CacheConfig
-    l2: CacheConfig
-    main_latency: int = 500
-    #: Rows per cycle for non-unit-stride vector accesses (vector cache
-    #: serves stride-1 at full port width but one element per cycle
-    #: otherwise, §III-D).
-    strided_rows_per_cycle: float = 1.0
-
-
-@dataclass(frozen=True)
-class CoreConfig:
-    """One column of Table III."""
-
-    isa: str
-    way: int
-    fetch_width: int
-    commit_width: int
-    int_fus: int
-    fp_fus: int
-    simd_issue: int
-    simd_fu_groups: int
-    lanes: int              # 1 for MMX (full-width units); 4 for VMMX
-    mem_ports: int          # L1 ports (scalar and MMX SIMD loads)
-    phys_simd_regs: int
-    logical_simd_regs: int
-    rob_size: int
-    branch_penalty: int = 8
-    #: Dead cycles a vector (rows > 1) instruction holds its functional
-    #: unit beyond the lane-limited row time (vector start-up; calibrated
-    #: against the paper's Fig. 4 magnitudes).
-    vector_startup: int = 1
-
-    @property
-    def name(self) -> str:
-        return f"{self.way}way-{self.isa}"
-
-    @property
-    def is_matrix(self) -> bool:
-        return self.isa.startswith("vmmx")
-
-    @property
-    def simd_inflight(self) -> int:
-        """SIMD instructions with destinations allowed in flight."""
-        return max(2, self.phys_simd_regs - self.logical_simd_regs)
-
-
-def _core(isa: str, way: int) -> CoreConfig:
-    idx = WAYS.index(way)
-    matrix = isa.startswith("vmmx")
-    return CoreConfig(
-        isa=isa,
-        way=way,
-        fetch_width=way,
-        commit_width=way,
-        int_fus=way,
-        fp_fus=(1, 2, 4)[idx],
-        simd_issue=(1, 2, 3)[idx] if matrix else way,
-        simd_fu_groups=(1, 2, 3)[idx] if matrix else way,
-        lanes=4 if matrix else 1,
-        mem_ports=(1, 1, 2)[idx] if matrix else (1, 2, 4)[idx],
-        phys_simd_regs=(20, 36, 64)[idx] if matrix else (40, 64, 96)[idx],
-        logical_simd_regs=LOGICAL_REGS[isa],
-        rob_size=(64, 128, 256)[idx],
-    )
-
-
-def _mem(way: int) -> MemHierConfig:
-    idx = WAYS.index(way)
-    return MemHierConfig(
-        l1=CacheConfig(
-            size=32 * 1024, assoc=4, line=32, latency=3,
-            ports=(1, 2, 4)[idx], port_bytes=8,
-        ),
-        l2=CacheConfig(
-            size=512 * 1024, assoc=2, line=128, latency=12,
-            ports=1, port_bytes=(16, 32, 64)[idx],
-        ),
-        # The vector cache gathers strided elements at one 64-bit element
-        # per cycle per 16 bytes of port width (the interchange switch
-        # widens with the port), so strided bandwidth scales with way.
-        strided_rows_per_cycle=(1.0, 2.0, 4.0)[idx],
-    )
+MAX_VL = get_family("vmmx64").geometry.max_vl
 
 
 #: All twelve (isa, way) processor configurations of the study.
 CONFIGS: Dict[Tuple[str, int], CoreConfig] = {
-    (isa, way): _core(isa, way) for isa in ISAS for way in WAYS
+    (isa, way): get_machine(isa, way).core for isa in ISAS for way in WAYS
 }
 
-#: Memory hierarchies per way (identical geometry for all extensions; the
-#: VMMX configurations use fewer L1 ports, captured in CoreConfig).
-MEM_CONFIGS: Dict[int, MemHierConfig] = {way: _mem(way) for way in WAYS}
+#: Memory hierarchies per way (identical geometry for all paper
+#: extensions; the VMMX configurations use fewer L1 ports, captured in
+#: CoreConfig).
+MEM_CONFIGS: Dict[int, MemHierConfig] = {
+    way: get_machine("mmx64", way).mem for way in WAYS
+}
 
 
 def get_config(isa: str, way: int) -> CoreConfig:
-    """Look up one processor configuration (raises on unknown keys)."""
-    try:
-        return CONFIGS[(isa, way)]
-    except KeyError:
-        raise KeyError(f"no config for isa={isa!r}, way={way}") from None
+    """Look up one paper processor configuration.
+
+    Deprecated shim over the machine registry, restricted to each
+    family's declared widths; :func:`repro.machines.get_machine`
+    additionally derives any other positive way from the scaling
+    curves.  Raises :class:`KeyError` with the available choices on
+    unknown names or undeclared widths.
+    """
+    if not is_registered(isa):
+        raise UnknownMachineError(isa, _available_isas())
+    family = get_family(isa)
+    if way not in family.ways:
+        raise KeyError(
+            f"no config for isa={isa!r}, way={way}; declared widths are "
+            f"{', '.join(str(w) for w in family.ways)} "
+            f"(repro.machines.get_machine({isa!r}, {way}) derives other "
+            "widths from the scaling curves)"
+        )
+    return get_machine(isa, way).core
 
 
 def get_mem_config(way: int) -> MemHierConfig:
-    """Look up the memory hierarchy for a machine width."""
+    """Look up the paper memory hierarchy for a machine width.
+
+    Raises :class:`KeyError` with the available widths on anything but
+    the paper's 2/4/8-way columns; arbitrary widths come from
+    ``repro.machines.get_machine(name, way).mem``.
+    """
+    if way not in WAYS:
+        raise KeyError(
+            f"no paper memory hierarchy for way={way!r}; available widths: "
+            f"{', '.join(str(w) for w in WAYS)} "
+            f"(repro.machines.get_machine('mmx64', way).mem derives other "
+            "widths from the scaling curves)"
+        )
     return MEM_CONFIGS[way]
 
 
 def with_overrides(config: CoreConfig, **kw) -> CoreConfig:
     """Derive an ablation variant of a configuration."""
     return replace(config, **kw)
+
+
+def _available_isas() -> Tuple[str, ...]:
+    from repro.machines import machine_names
+
+    return machine_names()

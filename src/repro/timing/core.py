@@ -49,7 +49,7 @@ import numpy as np
 from repro.isa.opcodes import Category, FUClass
 from repro.isa.trace import CAT_CODE, CATEGORIES, FU_CODE, as_columns
 from repro.timing.caches import BimodalPredictor, MemoryHierarchy
-from repro.timing.config import CoreConfig, MemHierConfig, get_mem_config
+from repro.timing.config import CoreConfig, MemHierConfig
 
 #: Environment variable gating the retained record-at-a-time reference
 #: implementation (``1`` routes every ``run`` call through it).
@@ -99,9 +99,28 @@ class CoreModel:
         self, config: CoreConfig, mem_config: Optional[MemHierConfig] = None
     ) -> None:
         self.config = config
-        self.mem_config = mem_config or get_mem_config(config.way)
+        self.mem_config = mem_config or self._default_mem_config(config)
         self.hier = MemoryHierarchy(self.mem_config)
         self.bpred = BimodalPredictor()
+        #: Capability, not a name check: machines whose geometry declares
+        #: the matrix flag route SIMD memory through the vector cache.
+        self.vector_memory = config.vector_memory
+
+    @staticmethod
+    def _default_mem_config(config: CoreConfig) -> MemHierConfig:
+        """The registry hierarchy of ``config``'s machine at its width.
+
+        Registered machine names (including non-paper widths such as
+        16-way) resolve through :func:`repro.machines.get_machine`;
+        ad-hoc names fall back to the paper hierarchy of the width.
+        """
+        from repro.machines import get_machine, is_registered
+
+        if is_registered(config.isa):
+            return get_machine(config.isa, config.way).mem
+        from repro.timing.config import get_mem_config
+
+        return get_mem_config(config.way)
 
     def run(self, trace) -> SimResult:
         """Time one dynamic trace (columnar IR or any record iterable)."""
@@ -128,7 +147,7 @@ class CoreModel:
         # Memory accesses: cache tag state evolves in trace order and is
         # independent of issue timing, so resolve every access up front.
         is_memfu = fu == _MEM_CODE
-        if cfg.is_matrix:
+        if self.vector_memory:
             use_vec = is_memfu & (cols.category == _VMEM_CODE)
         else:
             use_vec = np.zeros(n_total, dtype=bool)
@@ -431,7 +450,7 @@ class CoreModel:
         n = 0
         cat_instrs: Dict[str, int] = defaultdict(int)
         cat_cycles: Dict[str, int] = defaultdict(int)
-        vector_mem = cfg.is_matrix
+        vector_mem = self.vector_memory
 
         for rec in records:
             # ----- fetch / dispatch --------------------------------------

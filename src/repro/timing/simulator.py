@@ -53,6 +53,14 @@ class KernelTiming:
     #: from different seeds are distinguishable records (previously two
     #: seeds produced indistinguishable objects -- a silent collision).
     seed: int = 0
+    #: Registered machine the trace was timed on, when it is not the
+    #: kernel version's own architected machine (e.g. ``mmx256`` timing
+    #: an ``mmx128`` binary); ``None`` for the classic coupled case.
+    machine: Optional[str] = None
+
+    @property
+    def machine_name(self) -> str:
+        return self.machine if self.machine is not None else self.version
 
     @property
     def cycles_per_invocation(self) -> float:
@@ -66,7 +74,9 @@ class KernelTiming:
 #: Bounded in-process memo of recently used kernel timings.  The store
 #: is the system of record; this layer only saves the disk round-trip
 #: for the hot working set of an experiment run.
-_MEMO: "OrderedDict[Tuple[str, str, int, int], KernelTiming]" = OrderedDict()
+_MEMO: "OrderedDict[Tuple[str, str, int, int, Optional[str]], KernelTiming]" = (
+    OrderedDict()
+)
 _MEMO_MAXSIZE = 512
 
 
@@ -90,10 +100,15 @@ def clear_kernel_memo() -> None:
 
 
 def memo_put(
-    kernel: str, version: str, way: int, seed: int, timing: KernelTiming
+    kernel: str,
+    version: str,
+    way: int,
+    seed: int,
+    timing: KernelTiming,
+    machine: Optional[str] = None,
 ) -> None:
     """Publish one timing into the memo (used by the sweep engine)."""
-    key = (kernel, version, way, seed)
+    key = (kernel, version, way, seed, machine)
     _MEMO[key] = timing
     _MEMO.move_to_end(key)
     while len(_MEMO) > _MEMO_MAXSIZE:
@@ -101,16 +116,24 @@ def memo_put(
 
 
 def simulate_kernel(
-    kernel: str, version: str, way: int, seed: int = 0
+    kernel: str,
+    version: str,
+    way: int,
+    seed: int = 0,
+    machine: Optional[str] = None,
 ) -> KernelTiming:
     """Run ``kernel``'s ``version`` and time it on the ``way``-wide core.
 
-    The baseline ISA of a configuration is given by ``version`` (the
-    paper couples ISA version and hardware: an mmx128 binary runs on the
-    mmx128 machine of that width).  Routed through the result store: a
-    warm store answers without re-simulating.
+    By default the machine is the version's own (the paper couples ISA
+    version and hardware: an mmx128 binary runs on the mmx128 machine of
+    that width); ``machine`` names any other registered machine whose
+    program is ``version`` (e.g. ``machine="mmx256"`` with
+    ``version="mmx128"``).  Routed through the result store: a warm
+    store answers without re-simulating.
     """
-    key = (kernel, version, way, seed)
+    if machine == version:
+        machine = None
+    key = (kernel, version, way, seed, machine)
     hit = _MEMO.get(key)
     if hit is not None:
         _MEMO.move_to_end(key)
@@ -120,8 +143,12 @@ def simulate_kernel(
     from repro.sweep.engine import run_point
     from repro.sweep.points import SweepPoint
 
-    timing = run_point(SweepPoint(kernel=kernel, version=version, way=way, seed=seed))
-    memo_put(kernel, version, way, seed, timing)
+    timing = run_point(
+        SweepPoint(
+            kernel=kernel, version=version, way=way, seed=seed, machine=machine
+        )
+    )
+    memo_put(kernel, version, way, seed, timing, machine=machine)
     return timing
 
 

@@ -44,7 +44,9 @@ def module_store(tmp_path_factory):
 
 
 def test_artifact_registry_complete():
-    assert set(ARTIFACT_DATA) == set(ARTIFACTS)
+    # The eight golden-pinned paper artefacts must all be registered;
+    # machine-registry extensions (fig4x/fig5x) ride alongside unpinned.
+    assert set(ARTIFACTS) <= set(ARTIFACT_DATA)
 
 
 @pytest.mark.parametrize("name", ARTIFACTS)

@@ -7,6 +7,8 @@ saturate early (lanes + short vectors) while MMX kernels keep scaling
 with the core until the paper's bottlenecks bite.
 """
 
+import time
+
 from repro.experiments import fig4_data
 from repro.experiments.report import render_table
 from repro.kernels.registry import FIG4_KERNELS
@@ -41,3 +43,73 @@ def test_fig4_scaling_across_ways(benchmark):
         assert mmx_growth > vmmx_growth
     # And yet the 2-way VMMX128 still beats the 8-way MMX128 on idct:
     assert data[2]["idct"]["vmmx128"] > data[8]["idct"]["mmx128"]
+
+
+def test_fig4_sharded_campaign(benchmark, tmp_path, monkeypatch):
+    """Sharded vs single-process execution of the Fig. 4 point set.
+
+    Runs the grid once single-process and once as a 2-shard campaign
+    (each shard into its own store root, then merged), reporting
+    wall-clock and emulation counts for both.  Trace-grouped shard
+    assignment means the campaign as a whole emulates each kernel
+    exactly once -- the sharded emulation total equals the
+    single-process one -- and the merged store replays the grid with
+    zero simulations.
+    """
+    from repro import sweep as sweeplib
+    from repro.sweep import ResultStore, shard_store_root
+
+    points = sweeplib.fig4_points()
+    rows = []
+
+    def campaign():
+        results = {}
+        # Single-process reference.
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "single"))
+        sweeplib.clear_memory_caches()
+        emu = sweeplib.emulation_count()
+        start = time.perf_counter()
+        sweeplib.sweep(points)
+        results["single-process"] = (
+            time.perf_counter() - start, sweeplib.emulation_count() - emu
+        )
+        # The same grid as a 2-shard campaign (sequential here; on a
+        # real campaign each shard is its own host/process).
+        start = time.perf_counter()
+        emu = sweeplib.emulation_count()
+        for index in range(2):
+            monkeypatch.setenv(
+                "REPRO_STORE", str(shard_store_root(tmp_path / "campaign", index, 2))
+            )
+            sweeplib.clear_memory_caches()
+            sweeplib.sweep(points, shard=(index, 2))
+        results["2-shard campaign"] = (
+            time.perf_counter() - start, sweeplib.emulation_count() - emu
+        )
+        merged = ResultStore(tmp_path / "merged")
+        for index in range(2):
+            merged.merge(ResultStore(shard_store_root(tmp_path / "campaign", index, 2)))
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "merged"))
+        sweeplib.clear_memory_caches()
+        start = time.perf_counter()
+        warm = sweeplib.sweep(points)
+        results["merged store (warm)"] = (
+            time.perf_counter() - start, warm.emulated
+        )
+        assert warm.simulated == 0
+        return results
+
+    results = benchmark.pedantic(campaign, iterations=1, rounds=1)
+    for mode, (elapsed, emulations) in results.items():
+        rows.append((mode, f"{elapsed:.2f}s", emulations, len(points)))
+    print()
+    print(
+        render_table(
+            ("mode", "wall-clock", "emulations", "points"),
+            rows,
+            title="Figure 4 grid: single-process vs 2-shard campaign",
+        )
+    )
+    # No shard duplicates an emulation: campaign total == single total.
+    assert results["2-shard campaign"][1] == results["single-process"][1]
+    assert results["merged store (warm)"][1] == 0

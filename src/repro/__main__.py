@@ -9,6 +9,9 @@ store, or inspect/validate the machine registry::
     python -m repro sweep --grid fig4 --jobs 4
     python -m repro sweep --kernels idct,ycc --isas mmx64,vmmx128 --ways 2,8
     python -m repro sweep --machines mmx256,vmmx256 --ways 2,16
+    python -m repro sweep --grid fig4 --shard 1/2 --store-root /tmp/campaign --resume
+    python -m repro store --store-root /tmp/merged merge /tmp/campaign/shard-*
+    python -m repro store verify
     python -m repro machines
     python -m repro machines --validate
     python -m repro list
@@ -19,6 +22,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import tarfile
 
 #: Default location of the pinned machine-fingerprint manifest
 #: (``machines --validate`` reads it, ``--write-manifest`` regenerates).
@@ -116,13 +120,43 @@ def _cmd_sweep(args) -> int:
     from repro.experiments.report import render_table
     from repro.kernels.registry import KERNELS
     from repro.machines import is_registered, machine_names
-    from repro.sweep import GRIDS, dedupe, default_jobs, machine_grid, sweep
+    from repro.sweep import (
+        GRIDS,
+        dedupe,
+        default_jobs,
+        default_store,
+        machine_grid,
+        parse_shard_spec,
+        shard_store_root,
+        sweep,
+    )
     from repro.timing.config import ISAS, WAYS
 
-    if args.store is not None:
+    shard = None
+    if args.shard is not None:
+        try:
+            shard = parse_shard_spec(args.shard)
+        except ValueError as exc:
+            print(exc)
+            return 1
+    if args.store is not None and args.store_root is not None:
+        print("--store and --store-root name the same directory; pass only one")
+        return 1
+    if args.store_root is not None:
+        # A campaign directory: each shard gets its own store root
+        # underneath it, ready for `python -m repro store merge`.
+        root = args.store_root
+        if shard is not None:
+            root = str(shard_store_root(root, *shard))
+        os.environ["REPRO_STORE"] = root
+    elif args.store is not None:
         # The store is selected through the environment so worker
         # processes and nested simulate_kernel calls agree on it.
         os.environ["REPRO_STORE"] = args.store
+    if args.resume and default_store() is None:
+        print("--resume needs a result store; the store is disabled "
+              "(--store off / REPRO_STORE=off)")
+        return 1
 
     if args.isas != "all" and args.machines is not None:
         print("--isas and --machines name the same axis; pass only one")
@@ -190,13 +224,14 @@ def _cmd_sweep(args) -> int:
     points = dedupe(points)
 
     jobs = args.jobs if args.jobs is not None else default_jobs()
-    total = len(points)
 
-    def progress(done, _total, point, source):
+    def progress(done, total, point, source):
         if not args.quiet:
             print(f"[{done}/{total}] {point.label:40s} {source}")
 
-    report = sweep(points, jobs=jobs, progress=progress)
+    report = sweep(
+        points, jobs=jobs, progress=progress, shard=shard, resume=args.resume
+    )
     if not args.quiet:
         rows = [
             (
@@ -350,6 +385,106 @@ def _validate_machines(manifest_path: str) -> int:
     return 0
 
 
+def _store_for_maintenance(args):
+    """Resolve the store a ``store`` verb operates on, or (None, error)."""
+    from repro.sweep import ResultStore, default_store
+
+    if getattr(args, "store_root", None) is not None:
+        return ResultStore(args.store_root), None
+    store = default_store()
+    if store is None:
+        return None, (
+            "the result store is disabled (REPRO_STORE=off); pass "
+            "--store-root DIR to name one explicitly"
+        )
+    return store, None
+
+
+def _cmd_store(args) -> int:
+    from repro.sweep import ResultStore
+
+    store, error = _store_for_maintenance(args)
+    if store is None:
+        print(error)
+        return 1
+
+    if args.verb == "stats":
+        stats = store.stats()
+        print(f"store {stats['root']}:")
+        print(f"  {stats['records']} records, {stats['bytes']} bytes")
+        for kind, count in stats["by_kind"].items():
+            print(f"  {kind}: {count}")
+        for code, count in stats["code_versions"].items():
+            current = " (current)" if code == stats["current_code"] else ""
+            print(f"  code {code[:12]}...: {count} records{current}")
+        if stats["unstamped"]:
+            print(f"  unstamped (pre-maintenance records): {stats['unstamped']}")
+        if stats["corrupt"]:
+            print(f"  corrupt (run 'store verify' for detail): {stats['corrupt']}")
+        return 0
+
+    if args.verb == "verify":
+        report = store.verify()
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    if args.verb == "gc":
+        stats = store.gc(
+            keep_code_versions=args.keep_code,
+            drop_unstamped=args.drop_unstamped,
+            dry_run=args.dry_run,
+        )
+        prefix = "[dry-run] " if args.dry_run else ""
+        print(prefix + stats.summary())
+        return 0
+
+    if args.verb == "merge":
+        total = 0
+        conflicted = False
+        for source in args.sources:
+            try:
+                stats = store.merge(ResultStore(source))
+            except ValueError as exc:
+                print(exc)
+                return 1
+            except OSError as exc:
+                print(f"merge from {source!r} failed: {exc}")
+                return 1
+            print(stats.summary())
+            total += stats.merged
+            # Conflicts keep ours, so continuing is safe: merge every
+            # source, then fail loudly rather than leave later shards
+            # silently unmerged.
+            for key in stats.conflicts:
+                print(f"  conflict (kept ours): {key}")
+                conflicted = True
+        print(f"store {store.root}: {total} records merged in")
+        return 1 if conflicted else 0
+
+    if args.verb == "export":
+        try:
+            count = store.export(args.archive)
+        except OSError as exc:
+            print(f"export to {args.archive!r} failed: {exc}")
+            return 1
+        print(f"exported {count} records to {args.archive}")
+        return 0
+
+    if args.verb == "import":
+        try:
+            stats = store.import_(args.archive)
+        except (OSError, tarfile.TarError) as exc:
+            print(f"import from {args.archive!r} failed: {exc}")
+            return 1
+        print(stats.summary())
+        # Rejected members mean the archive lost records in transit --
+        # campaign scripts must see that in the exit code.
+        return 1 if stats.conflicts or stats.rejected else 0
+
+    print(f"unknown store verb {args.verb!r}")  # pragma: no cover
+    return 1
+
+
 def main(argv=None) -> int:
     from repro.emu import VERSION_NAMES
 
@@ -402,8 +537,50 @@ def main(argv=None) -> int:
     sweep.add_argument("--store", default=None, metavar="PATH",
                        help="result-store directory (default: $REPRO_STORE or "
                             "~/.cache/repro-sweep; 'off' disables)")
+    sweep.add_argument("--shard", default=None, metavar="I/N",
+                       help="run only shard I of N (1-based, e.g. 1/4); "
+                            "shards are trace-grouped so each kernel is "
+                            "emulated in exactly one shard")
+    sweep.add_argument("--store-root", default=None, metavar="DIR",
+                       help="campaign directory: each shard writes its own "
+                            "store under DIR (shard-I-of-N), ready for "
+                            "'store merge'")
+    sweep.add_argument("--resume", action="store_true",
+                       help="checkpoint completed point-keys to the store "
+                            "and skip work an interrupted run already did")
     sweep.add_argument("--quiet", action="store_true",
                        help="only print the final summary line")
+    store = sub.add_parser(
+        "store", help="maintain a result store (merge, gc, verify, stats, "
+                      "export, import)"
+    )
+    store.add_argument("--store-root", default=None, metavar="DIR",
+                       help="store to operate on (default: $REPRO_STORE or "
+                            "~/.cache/repro-sweep)")
+    verbs = store.add_subparsers(dest="verb", required=True)
+    verbs.add_parser("stats", help="record counts, sizes and code versions")
+    verbs.add_parser("verify", help="re-hash every payload; non-zero exit on "
+                                    "any corruption")
+    gc = verbs.add_parser("gc", help="drop records from retired code versions")
+    gc.add_argument("--keep-code", action="append", default=[], metavar="HEX",
+                    help="extra code-version digest to keep (repeatable; the "
+                         "current version is always kept)")
+    gc.add_argument("--drop-unstamped", action="store_true",
+                    help="also drop records written before code-version "
+                         "stamping existed")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be removed without removing it")
+    merge = verbs.add_parser(
+        "merge", help="merge per-shard stores into this one"
+    )
+    merge.add_argument("sources", nargs="+", metavar="SRC",
+                       help="store roots to merge in (e.g. DIR/shard-1-of-2)")
+    export = verbs.add_parser(
+        "export", help="write all records to a deterministic tarball"
+    )
+    export.add_argument("archive", metavar="ARCHIVE.tar.gz")
+    imp = verbs.add_parser("import", help="load an exported tarball")
+    imp.add_argument("archive", metavar="ARCHIVE.tar.gz")
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
@@ -411,6 +588,8 @@ def main(argv=None) -> int:
         return _cmd_machines(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "store":
+        return _cmd_store(args)
     if args.command == "kernel" and args.machine is None and args.isa == "scalar":
         print("timing configs exist for SIMD ISAs; use --isa mmx64/.../vmmx128")
         return 1

@@ -15,6 +15,7 @@ object:
 """
 
 from repro.sweep.engine import (
+    SweepInterrupted,
     SweepReport,
     acquire_trace,
     clear_trace_memo,
@@ -25,6 +26,7 @@ from repro.sweep.engine import (
     reset_simulation_count,
     resolve_configs,
     run_point,
+    set_compute_budget,
     simulation_count,
     sweep,
     trace_key,
@@ -40,12 +42,19 @@ from repro.sweep.points import (
     full_points,
     grid,
     machine_grid,
+    parse_shard_spec,
+    shard,
 )
 from repro.sweep.store import (
+    GcStats,
+    ImportStats,
+    MergeStats,
     ResultStore,
+    VerifyReport,
     code_version,
     config_fingerprint,
     default_store,
+    shard_store_root,
     stable_hash,
 )
 
@@ -69,9 +78,14 @@ def clear_memory_caches() -> None:
 
 __all__ = [
     "GRIDS",
+    "GcStats",
+    "ImportStats",
+    "MergeStats",
     "ResultStore",
+    "SweepInterrupted",
     "SweepPoint",
     "SweepReport",
+    "VerifyReport",
     "acquire_trace",
     "clear_memory_caches",
     "clear_trace_memo",
@@ -88,10 +102,15 @@ __all__ = [
     "fig7_points",
     "full_points",
     "grid",
+    "machine_grid",
+    "parse_shard_spec",
     "point_key",
     "reset_simulation_count",
     "resolve_configs",
     "run_point",
+    "set_compute_budget",
+    "shard",
+    "shard_store_root",
     "simulation_count",
     "stable_hash",
     "sweep",

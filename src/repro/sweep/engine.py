@@ -23,6 +23,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.isa.trace import ColumnarTrace
 from repro.sweep.points import SweepPoint, dedupe
+from repro.sweep.points import shard as shard_points
 from repro.sweep.store import (
     config_fingerprint,
     default_store,
@@ -59,7 +60,34 @@ _EMU_COUNT = 0
 _TRACE_MEMO: "OrderedDict[Tuple[str, str, int], ColumnarTrace]" = OrderedDict()
 _TRACE_MEMO_MAXSIZE = 32
 
+#: Test hook: remaining :func:`compute_point` calls this process may
+#: perform before :class:`SweepInterrupted` is raised (None = unlimited).
+#: The resume tests use it to kill a sweep mid-campaign at an exact,
+#: reproducible place.
+_COMPUTE_BUDGET: Optional[int] = None
+
 ProgressFn = Callable[[int, int, SweepPoint, str], None]
+
+
+class SweepInterrupted(RuntimeError):
+    """A sweep died mid-campaign (induced by :func:`set_compute_budget`).
+
+    Stands in for a killed process in tests: everything completed
+    before the interruption is already persisted and checkpointed, so a
+    restart with ``resume=True`` computes only what is genuinely left.
+    """
+
+
+def set_compute_budget(budget: Optional[int]) -> Optional[int]:
+    """Cap how many more points this process may compute (test hook).
+
+    Returns the previous budget so tests can restore it.  ``None``
+    removes the cap.
+    """
+    global _COMPUTE_BUDGET
+    previous = _COMPUTE_BUDGET
+    _COMPUTE_BUDGET = budget
+    return previous
 
 
 def default_jobs() -> int:
@@ -236,7 +264,13 @@ def compute_point(point: SweepPoint, store: Any = _USE_DEFAULT) -> KernelTiming:
     """
     from repro.kernels.registry import KERNELS
 
-    global _SIM_COUNT
+    global _SIM_COUNT, _COMPUTE_BUDGET
+    if _COMPUTE_BUDGET is not None:
+        if _COMPUTE_BUDGET <= 0:
+            raise SweepInterrupted(
+                f"compute budget exhausted before point {point.label!r}"
+            )
+        _COMPUTE_BUDGET -= 1
     spec = KERNELS[point.kernel]
     cols = acquire_trace(point, store)
     config, mem = resolve_configs(point)
@@ -315,6 +349,13 @@ class SweepReport:
     store_root: Optional[str] = None
     #: Per-point provenance, parallel to ``points``: "store" or "sim".
     sources: List[str] = field(default_factory=list)
+    #: The ``(index, count)`` this call was restricted to, if sharded.
+    shard: Optional[Tuple[int, int]] = None
+    #: Of the cached points, how many a resume checkpoint had already
+    #: recorded as completed by an earlier (interrupted) run.
+    resumed: int = 0
+    #: Kernel emulations this call performed (trace-cache misses).
+    emulated: int = 0
 
     @property
     def total(self) -> int:
@@ -325,9 +366,60 @@ class SweepReport:
 
     def summary(self) -> str:
         where = self.store_root or "<no store>"
-        return (
+        text = (
             f"{self.total} points: {self.simulated} simulated, "
             f"{self.cached} from store ({where}), jobs={self.jobs}"
+        )
+        if self.shard is not None:
+            text += f", shard {self.shard[0] + 1}/{self.shard[1]}"
+        if self.resumed:
+            text += f", {self.resumed} resumed"
+        return text
+
+
+class _Checkpoint:
+    """Campaign progress record for ``sweep(..., resume=True)``.
+
+    One ``sweep-checkpoint`` record per (point set, shard spec),
+    content-addressed like everything else, holding the sorted
+    point-keys already completed.  The *result records themselves*
+    remain the source of truth -- a checkpointed key whose record has
+    been corrupted or garbage-collected is simply recomputed -- so the
+    checkpoint can never resurrect lost data, only report honest
+    progress and survive interruptions at any instant (it is re-saved
+    after every completed point or chunk, through the same atomic-write
+    path as any record).
+    """
+
+    def __init__(self, store: Any, point_keys: Sequence[str],
+                 shard: Optional[Tuple[int, int]]) -> None:
+        self.store = store
+        self.total = len(point_keys)
+        self.key = record_key(
+            "sweep-checkpoint",
+            {
+                "points": sorted(point_keys),
+                "shard": list(shard) if shard is not None else None,
+            },
+        )
+        payload = load_payload(store, self.key)
+        completed = (
+            payload.get("completed", []) if isinstance(payload, dict) else []
+        )
+        #: Keys completed by a previous run of this exact campaign.
+        self.prior = set(completed) & set(point_keys)
+        self.completed = set(self.prior)
+
+    def mark(self, key: Optional[str]) -> None:
+        if key is not None:
+            self.completed.add(key)
+
+    def flush(self) -> None:
+        save_payload(
+            self.store,
+            "sweep-checkpoint",
+            self.key,
+            {"completed": sorted(self.completed), "total": self.total},
         )
 
 
@@ -336,6 +428,8 @@ def sweep(
     jobs: int = 1,
     store: Any = _USE_DEFAULT,
     progress: Optional[ProgressFn] = None,
+    shard: Optional[Tuple[int, int]] = None,
+    resume: bool = False,
 ) -> SweepReport:
     """Evaluate every point, warm-starting from the store.
 
@@ -345,52 +439,93 @@ def sweep(
     also published into :mod:`repro.timing.simulator`'s in-process memo
     so the experiment code that follows a prefetch sweep hits memory,
     not disk.
+
+    ``shard=(index, count)`` restricts the call to one deterministic
+    shard of the (deduplicated) point list -- see
+    :func:`repro.sweep.points.shard`: trace-grouped, so N shards
+    against N distinct store roots emulate each kernel exactly once
+    across the whole campaign.  ``resume=True`` additionally
+    checkpoints completed point-keys to the store after every point (or
+    pooled chunk), so an interrupted campaign restarted with the same
+    arguments recomputes only what is genuinely missing.  Every result
+    record is persisted the moment it is computed in either mode --
+    interruption can never lose completed work.
     """
-    global _SIM_COUNT
     if store is _USE_DEFAULT:
         store = default_store()
     points = dedupe(points)
+    if shard is not None:
+        points = shard_points(points, shard[0], shard[1])
+    if resume and store is None:
+        raise ValueError(
+            "sweep(resume=True) needs a result store to checkpoint into; "
+            "the store is disabled (REPRO_STORE=off?)"
+        )
     total = len(points)
     keys = [point_key(p) for p in points] if store is not None else [None] * total
+    checkpoint = _Checkpoint(store, keys, shard) if resume else None
+    emulations_before = _EMU_COUNT
 
     results: Dict[SweepPoint, KernelTiming] = {}
     sources: Dict[SweepPoint, str] = {}
     misses: List[SweepPoint] = []
     miss_keys: List[Optional[str]] = []
     done = 0
+    resumed = 0
     for point, key in zip(points, keys):
         stored = load_payload(store, key) if key is not None else None
         if stored is not None:
             results[point] = kernel_timing_from_dict(stored)
             sources[point] = "store"
             done += 1
+            if checkpoint is not None:
+                if key in checkpoint.prior:
+                    resumed += 1
+                checkpoint.mark(key)
             if progress is not None:
                 progress(done, total, point, "store")
         else:
             misses.append(point)
             miss_keys.append(key)
 
-    if misses:
-        if jobs > 1:
-            payloads = _pooled(misses, jobs)
-        else:
-            # Trace records deliberately go through the *default*
-            # (environment-selected) store here, not ``store``: pooled
-            # workers can only reach the environment store, and the
-            # jobs-parity guarantee (store trees byte-identical for any
-            # ``jobs``) requires serial execution to match them.
-            # Single-point callers that pass an explicit store get
-            # trace forwarding via run_point.
-            payloads = [kernel_timing_to_dict(compute_point(p)) for p in misses]
-        for point, key, payload in zip(misses, miss_keys, payloads):
-            if key is not None:
-                save_payload(store, "kernel-timing", key, payload)
-            results[point] = kernel_timing_from_dict(payload)
-            sources[point] = "sim"
-            done += 1
-            if progress is not None:
-                progress(done, total, point, "sim")
+    def finish(point: SweepPoint, key: Optional[str],
+               payload: Dict[str, Any]) -> None:
+        nonlocal done
+        if key is not None:
+            save_payload(store, "kernel-timing", key, payload)
+        results[point] = kernel_timing_from_dict(payload)
+        sources[point] = "sim"
+        done += 1
+        if checkpoint is not None:
+            checkpoint.mark(key)
+        if progress is not None:
+            progress(done, total, point, "sim")
 
+    if misses:
+        pending = list(zip(misses, miss_keys))
+        if jobs > 1:
+            for n_done, payloads in _pooled_chunks(misses, jobs):
+                for (point, key), payload in zip(pending[:n_done], payloads):
+                    finish(point, key, payload)
+                pending = pending[n_done:]
+                if checkpoint is not None:
+                    checkpoint.flush()
+        # Chunks the pool never delivered (pool creation failed, or a
+        # worker crashed mid-campaign) complete inline.  Trace records
+        # here deliberately go through the *default*
+        # (environment-selected) store, not ``store``: pooled workers
+        # can only reach the environment store, and the jobs-parity
+        # guarantee (store trees byte-identical for any ``jobs``)
+        # requires serial execution to match them.  Single-point
+        # callers that pass an explicit store get trace forwarding via
+        # run_point.
+        for point, key in pending:
+            finish(point, key, kernel_timing_to_dict(compute_point(point)))
+            if checkpoint is not None:
+                checkpoint.flush()
+
+    if checkpoint is not None:
+        checkpoint.flush()
     _publish_to_memo(results)
     return SweepReport(
         points=list(points),
@@ -400,11 +535,22 @@ def sweep(
         jobs=jobs,
         store_root=str(store.root) if store is not None else None,
         sources=[sources[p] for p in points],
+        shard=shard,
+        resumed=resumed,
+        emulated=_EMU_COUNT - emulations_before,
     )
 
 
-def _pooled(misses: Sequence[SweepPoint], jobs: int) -> List[Dict[str, Any]]:
-    """Run cold points through a process pool; fall back to inline."""
+def _pooled_chunks(misses: Sequence[SweepPoint], jobs: int):
+    """Yield ``(points_consumed, payloads)`` per completed pool chunk.
+
+    Results stream back in deterministic chunk order, so the caller can
+    persist (and checkpoint) each chunk as it lands rather than holding
+    the whole campaign in memory until the slowest worker finishes.
+    Pool-creation failure (constrained sandboxes) or a broken pool
+    mid-campaign simply stops the stream; the caller completes the
+    remainder inline.
+    """
     global _SIM_COUNT, _EMU_COUNT
     import concurrent.futures
     import multiprocessing
@@ -418,18 +564,12 @@ def _pooled(misses: Sequence[SweepPoint], jobs: int) -> List[Dict[str, Any]]:
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=min(jobs, len(chunks)), mp_context=context
         ) as pool:
-            payloads: List[Dict[str, Any]] = []
-            emulations = 0
-            for chunk in pool.map(_worker_chunk, chunks):
-                payloads.extend(chunk["payloads"])
-                emulations += chunk["emulations"]
+            for chunk, result in zip(chunks, pool.map(_worker_chunk, chunks)):
+                _SIM_COUNT += len(chunk)
+                _EMU_COUNT += result["emulations"]
+                yield len(chunk), result["payloads"]
     except (OSError, concurrent.futures.process.BrokenProcessPool):
-        # Pool creation can fail in constrained sandboxes; the sweep
-        # must still complete, just serially.
-        return [kernel_timing_to_dict(compute_point(p)) for p in misses]
-    _SIM_COUNT += len(misses)
-    _EMU_COUNT += emulations
-    return payloads
+        return
 
 
 def _publish_to_memo(results: Dict[SweepPoint, KernelTiming]) -> None:

@@ -194,6 +194,78 @@ def dedupe(points: Iterable[SweepPoint]) -> List[SweepPoint]:
     return out
 
 
+def shard(points: Iterable[SweepPoint], index: int, count: int) -> List[SweepPoint]:
+    """Deterministic shard ``index`` (0-based) of ``count`` shards.
+
+    Points sharing a dynamic trace (same
+    :func:`~repro.sweep.engine.trace_key`: kernel, program version,
+    seed) always land in the same shard, so a campaign split across N
+    hosts emulates each kernel exactly once *somewhere* instead of once
+    per host -- trace-cache locality is what dominates cold sweep
+    wall-clock.  Trace groups are balanced greedily by point count
+    (largest group first, ties to the lower shard) and every shard
+    keeps its points in original order.  The shards partition the
+    deduplicated point list exactly: no loss, no overlap, for any
+    ``count``.
+    """
+    if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+        raise ValueError(
+            f"shard count must be a positive integer, got {count!r}"
+        )
+    if not isinstance(index, int) or isinstance(index, bool) or not 0 <= index < count:
+        raise ValueError(
+            f"shard index must be in [0, {count}), got {index!r}"
+        )
+    ordered = dedupe(points)
+    if count == 1:
+        return ordered
+    from repro.sweep.engine import trace_key
+
+    groups: Dict[str, List[Tuple[int, SweepPoint]]] = {}
+    for position, point in enumerate(ordered):
+        groups.setdefault(trace_key(point), []).append((position, point))
+    # Largest groups placed first onto the least-loaded shard; every
+    # tie broken by first-occurrence position then shard number, so the
+    # assignment is a pure function of the point list.
+    loads = [0] * count
+    mine: List[Tuple[int, SweepPoint]] = []
+    for members in sorted(groups.values(), key=lambda m: (-len(m), m[0][0])):
+        target = min(range(count), key=lambda s: (loads[s], s))
+        loads[target] += len(members)
+        if target == index:
+            mine.extend(members)
+    return [point for _, point in sorted(mine, key=lambda m: m[0])]
+
+
+def parse_shard_spec(spec: str) -> Tuple[int, int]:
+    """Parse the CLI ``--shard i/N`` spelling into a 0-based ``(index, count)``.
+
+    ``i`` is 1-based on the command line ("shard 2 of 4" is ``2/4``);
+    anything malformed or out of range raises :class:`ValueError` with
+    a message naming ``--shard`` and the offending value.
+    """
+    parts = str(spec).strip().split("/")
+    if len(parts) != 2 or not all(part.strip() for part in parts):
+        raise ValueError(
+            f"--shard takes i/N (e.g. 1/4), got {spec!r}"
+        )
+    try:
+        ordinal, count = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ValueError(
+            f"--shard takes two integers i/N (e.g. 1/4), got {spec!r}"
+        ) from None
+    if count < 1:
+        raise ValueError(
+            f"--shard count must be at least 1, got {spec!r}"
+        )
+    if not 1 <= ordinal <= count:
+        raise ValueError(
+            f"--shard index must be between 1 and {count}, got {spec!r}"
+        )
+    return ordinal - 1, count
+
+
 # ---------------------------------------------------------------------------
 # Named grids: the point sets behind the paper's artefacts.
 # ---------------------------------------------------------------------------

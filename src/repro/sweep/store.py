@@ -31,14 +31,19 @@ from __future__ import annotations
 
 import base64
 import dataclasses
+import gzip
 import hashlib
+import io
 import json
 import os
+import re
+import tarfile
 import tempfile
 import zlib
+from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.isa.trace import ColumnarTrace
 from repro.machines.spec import canonical_json, stable_hash
@@ -119,9 +124,40 @@ def load_payload(store: Optional["ResultStore"], key: str) -> Optional[Any]:
 def save_payload(
     store: Optional["ResultStore"], kind: str, key: str, payload: Any
 ) -> None:
-    """Persist one payload (no-op without a store)."""
+    """Persist one payload (no-op without a store).
+
+    Records are stamped with the ``code`` digest they were produced
+    under (so :meth:`ResultStore.gc` can retire records of dead code
+    versions without re-deriving any address) and with a SHA-256 of the
+    canonical payload JSON (so :meth:`ResultStore.verify` can detect
+    bit-rot that still parses).
+    """
     if store is not None:
-        store.save(key, {"kind": kind, "payload": payload})
+        store.save(
+            key,
+            {
+                "kind": kind,
+                "code": code_version(),
+                "payload_sha256": payload_sha256(payload),
+                "payload": payload,
+            },
+        )
+
+
+def payload_sha256(payload: Any) -> str:
+    """Integrity hash of one record payload (canonical-JSON SHA-256)."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def shard_store_root(root, index: int, count: int) -> Path:
+    """The per-shard store root under a campaign directory.
+
+    Shard ``index`` (0-based) of ``count`` writes to
+    ``<root>/shard-<index+1>-of-<count>`` -- the layout
+    ``python -m repro sweep --shard i/N --store-root DIR`` uses, and the
+    one ``python -m repro store merge`` reunifies.
+    """
+    return Path(os.path.expanduser(str(root))) / f"shard-{index + 1}-of-{count}"
 
 
 # ---------------------------------------------------------------------------
@@ -229,8 +265,102 @@ def trace_from_payload(payload: Any) -> Optional[ColumnarTrace]:
         return None
 
 
+#: Archive member name of the export metadata header.
+_EXPORT_META = "export-meta.json"
+
+
+@dataclass
+class MergeStats:
+    """Outcome of one :meth:`ResultStore.merge` call."""
+
+    source: str
+    merged: int = 0
+    identical: int = 0
+    conflicts: List[str] = field(default_factory=list)
+    corrupt: int = 0
+
+    def summary(self) -> str:
+        text = (
+            f"merged {self.merged} records from {self.source} "
+            f"({self.identical} already present"
+        )
+        if self.corrupt:
+            text += f", {self.corrupt} corrupt skipped"
+        if self.conflicts:
+            text += f", {len(self.conflicts)} CONFLICTS kept ours"
+        return text + ")"
+
+
+@dataclass
+class GcStats:
+    """Outcome of one :meth:`ResultStore.gc` call."""
+
+    kept: int = 0
+    removed: int = 0
+    removed_bytes: int = 0
+    tmp_removed: int = 0
+    kept_code_versions: Tuple[str, ...] = ()
+
+    def summary(self) -> str:
+        return (
+            f"kept {self.kept} records, removed {self.removed} "
+            f"({self.removed_bytes} bytes) from dead code versions, "
+            f"swept {self.tmp_removed} stray temp files"
+        )
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one :meth:`ResultStore.verify` call."""
+
+    checked: int = 0
+    #: (key, reason) for every record that failed a check.
+    problems: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"verified {self.checked} records: all payloads intact"
+        lines = [
+            f"verified {self.checked} records: "
+            f"{len(self.problems)} CORRUPT"
+        ]
+        lines += [f"  {key}: {reason}" for key, reason in self.problems]
+        return "\n".join(lines)
+
+
+@dataclass
+class ImportStats:
+    """Outcome of one :meth:`ResultStore.import_` call."""
+
+    imported: int = 0
+    identical: int = 0
+    conflicts: List[str] = field(default_factory=list)
+    rejected: int = 0
+
+    def summary(self) -> str:
+        text = f"imported {self.imported} records ({self.identical} already present"
+        if self.rejected:
+            text += f", {self.rejected} rejected"
+        if self.conflicts:
+            text += f", {len(self.conflicts)} CONFLICTS kept ours"
+        return text + ")"
+
+
 class ResultStore:
-    """Content-addressed JSON store, one record per file."""
+    """Content-addressed JSON store, one record per file.
+
+    Beyond ``load``/``save``, the store is a maintainable artifact:
+    :meth:`merge` reunifies per-shard campaign stores, :meth:`gc`
+    retires records of dead code versions, :meth:`verify` re-hashes
+    every payload, :meth:`stats` summarises the contents, and
+    :meth:`export`/:meth:`import_` round-trip the records through a
+    deterministic tarball for host-to-host transfer.  All of these are
+    surfaced as ``python -m repro store`` verbs.
+    """
 
     def __init__(self, root) -> None:
         self.root = Path(os.path.expanduser(str(root)))
@@ -241,12 +371,13 @@ class ResultStore:
     def path_for(self, key: str) -> Path:
         return self.root / "records" / key[:2] / f"{key}.json"
 
-    def load(self, key: str) -> Optional[Dict[str, Any]]:
-        """Return the record stored under ``key``, or None.
+    def peek(self, key: str) -> Optional[Dict[str, Any]]:
+        """Read the record under ``key`` without side effects.
 
-        Corrupted records (truncated writes from killed processes, disk
-        faults) are removed and reported as misses so the caller simply
-        recomputes them.
+        Returns None for both missing and corrupt records, touching
+        neither: the maintenance verbs (merge, gc, stats, export) read
+        through here so that inspecting a store can never destroy the
+        evidence :meth:`verify` exists to report.
         """
         path = self.path_for(key)
         try:
@@ -255,17 +386,28 @@ class ResultStore:
             return None
         try:
             # UnicodeDecodeError is a ValueError: binary corruption is
-            # quarantined exactly like textual truncation.
+            # rejected exactly like textual truncation.
             record = json.loads(raw.decode("utf-8"))
             if not isinstance(record, dict) or record.get("key") != key:
                 raise ValueError("record integrity check failed")
             record["payload"]  # noqa: B018 -- presence check
         except (ValueError, KeyError):
+            return None
+        return record
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the record stored under ``key``, or None.
+
+        Corrupted records (truncated writes from killed processes, disk
+        faults) are removed and reported as misses so the caller simply
+        recomputes them.
+        """
+        record = self.peek(key)
+        if record is None:
             try:
-                path.unlink()
+                self.path_for(key).unlink()
             except OSError:
                 pass
-            return None
         return record
 
     def save(self, key: str, record: Dict[str, Any]) -> None:
@@ -313,6 +455,269 @@ class ResultStore:
                 continue
             for path in sorted(shard.glob("*.json")):
                 yield path.stem
+
+    # -- maintenance ------------------------------------------------------
+
+    def _write_bytes(self, key: str, raw: bytes) -> None:
+        """Atomically place pre-serialised record bytes under ``key``.
+
+        Used by merge/import so copied records stay byte-for-byte what
+        the source store held (a merged campaign store must be
+        indistinguishable from a single-process one).  Unlike
+        :meth:`save` this raises on I/O failure: maintenance verbs must
+        report a broken destination, not silently drop records.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(raw)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def merge(self, other: "ResultStore") -> MergeStats:
+        """Copy every valid record from ``other`` into this store.
+
+        Content addressing makes merging trivially safe: two stores can
+        only disagree under a key if one of them is corrupt or was
+        produced by a non-deterministic simulator -- both worth
+        surfacing, so differing payloads are counted as conflicts (ours
+        kept) rather than silently overwritten.  Merging is idempotent
+        and order-independent on the resulting key->payload map.
+        """
+        ours = Path(os.path.expanduser(str(self.root))).resolve()
+        theirs = Path(os.path.expanduser(str(other.root))).resolve()
+        if ours == theirs:
+            raise ValueError(
+                f"cannot merge store {str(other.root)!r} into itself"
+            )
+        stats = MergeStats(source=str(other.root))
+        for key in other.iter_keys():
+            # peek, not load: merging must never delete a corrupt
+            # record from the *source* store it is only reading.
+            record = other.peek(key)
+            if record is None:
+                stats.corrupt += 1
+                continue
+            raw = other.path_for(key).read_bytes()
+            mine = self.peek(key)
+            if mine is None:
+                self._write_bytes(key, raw)
+                stats.merged += 1
+            elif canonical_json(mine["payload"]) == canonical_json(record["payload"]):
+                stats.identical += 1
+            else:
+                stats.conflicts.append(key)
+        return stats
+
+    def gc(
+        self,
+        keep_code_versions: Iterable[str] = (),
+        drop_unstamped: bool = False,
+        dry_run: bool = False,
+    ) -> GcStats:
+        """Remove records produced under retired code versions.
+
+        The current :func:`code_version` is *always* kept -- gc can
+        never invalidate a warm run of the code that is actually
+        installed -- plus any digests in ``keep_code_versions``.
+        Records predating the ``code`` stamp are kept unless
+        ``drop_unstamped`` is set.  Stray ``*.tmp`` files from killed
+        writers are always swept.
+        """
+        keep = {code_version()} | {str(v) for v in keep_code_versions}
+        stats = GcStats(kept_code_versions=tuple(sorted(keep)))
+        records = self.root / "records"
+        if not records.is_dir():
+            return stats
+        for shard in sorted(records.iterdir()):
+            if not shard.is_dir():
+                continue
+            for tmp in sorted(shard.glob("*.tmp")):
+                if not dry_run:
+                    try:
+                        tmp.unlink()
+                    except OSError:
+                        continue
+                stats.tmp_removed += 1
+            for path in sorted(shard.glob("*.json")):
+                record = self.peek(path.stem)
+                if record is None:
+                    # Corrupt: left in place for `verify` to report
+                    # (gc retires dead code versions, not evidence).
+                    continue
+                code = record.get("code")
+                stale = code not in keep if code is not None else drop_unstamped
+                if stale:
+                    stats.removed += 1
+                    stats.removed_bytes += path.stat().st_size
+                    if not dry_run:
+                        try:
+                            path.unlink()
+                        except OSError:
+                            pass
+                else:
+                    stats.kept += 1
+        return stats
+
+    def verify(self) -> VerifyReport:
+        """Re-hash every payload and report corruption, touching nothing.
+
+        Three layers of checks: the record must parse and carry its own
+        key (anything else is quarantined by :meth:`load` and reported
+        here as unreadable), a ``payload_sha256`` stamp must match the
+        canonical payload JSON, and ``trace`` payloads must decompress
+        to bytes matching their embedded digest.
+        """
+        report = VerifyReport()
+        for key in list(self.iter_keys()):
+            report.checked += 1
+            path = self.path_for(key)
+            try:
+                record = json.loads(path.read_bytes().decode("utf-8"))
+            except (OSError, ValueError):
+                report.problems.append((key, "unreadable or not valid JSON"))
+                continue
+            if not isinstance(record, dict) or record.get("key") != key:
+                report.problems.append((key, "record does not carry its own key"))
+                continue
+            if "payload" not in record:
+                report.problems.append((key, "record has no payload"))
+                continue
+            stamp = record.get("payload_sha256")
+            if stamp is not None and payload_sha256(record["payload"]) != stamp:
+                report.problems.append(
+                    (key, "payload hash mismatch (bit-rot or hand edit)")
+                )
+                continue
+            if record.get("kind") == "trace":
+                if trace_from_payload(record["payload"]) is None:
+                    report.problems.append(
+                        (key, "trace payload fails to decode or digest-check")
+                    )
+        return report
+
+    def stats(self) -> Dict[str, Any]:
+        """Summary of the store contents (counts, bytes, code versions)."""
+        by_kind: Dict[str, int] = {}
+        code_versions: Dict[str, int] = {}
+        records = 0
+        total_bytes = 0
+        unstamped = 0
+        corrupt = 0
+        for key in self.iter_keys():
+            record = self.peek(key)
+            if record is None:
+                corrupt += 1
+                continue
+            records += 1
+            total_bytes += self.path_for(key).stat().st_size
+            kind = record.get("kind", "<unknown>")
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+            code = record.get("code")
+            if code is None:
+                unstamped += 1
+            else:
+                code_versions[code] = code_versions.get(code, 0) + 1
+        return {
+            "root": str(self.root),
+            "records": records,
+            "bytes": total_bytes,
+            "by_kind": dict(sorted(by_kind.items())),
+            "code_versions": dict(sorted(code_versions.items())),
+            "unstamped": unstamped,
+            "corrupt": corrupt,
+            "current_code": code_version(),
+        }
+
+    def export(self, archive) -> int:
+        """Write every valid record to a deterministic ``.tar.gz``.
+
+        Identical store contents produce identical archive bytes
+        (sorted members, zeroed timestamps/owners, gzip mtime pinned),
+        so exports can themselves be content-addressed or diffed.
+        Returns the number of records exported.
+        """
+        archive = Path(os.path.expanduser(str(archive)))
+        keys = [key for key in self.iter_keys() if self.peek(key) is not None]
+        archive.parent.mkdir(parents=True, exist_ok=True)
+
+        def member(name: str, raw: bytes) -> Tuple[tarfile.TarInfo, bytes]:
+            info = tarfile.TarInfo(name)
+            info.size = len(raw)
+            info.mtime = 0
+            info.uid = info.gid = 0
+            info.uname = info.gname = ""
+            return info, raw
+
+        meta = canonical_json(
+            {"schema": SCHEMA_VERSION, "records": len(keys)}
+        ).encode("utf-8")
+        # gzip via fileobj so the header carries neither the archive
+        # filename nor a timestamp: same contents, same bytes.
+        with open(archive, "wb") as raw_out, gzip.GzipFile(
+            filename="", fileobj=raw_out, mode="wb", mtime=0
+        ) as gz:
+            with tarfile.open(fileobj=gz, mode="w") as tar:
+                for info, raw in [member(_EXPORT_META, meta)] + [
+                    member(
+                        f"records/{key[:2]}/{key}.json",
+                        self.path_for(key).read_bytes(),
+                    )
+                    for key in keys
+                ]:
+                    tar.addfile(info, io.BytesIO(raw))
+        return len(keys)
+
+    def import_(self, archive) -> ImportStats:
+        """Load an :meth:`export` archive into this store.
+
+        Member names are validated against the record layout (a 64-hex
+        key under its 2-hex prefix directory -- no traversal, no
+        foreign files) and each record must parse and carry the key its
+        filename claims; anything else is rejected, not extracted.
+        ``export`` then ``import_`` into a fresh root is a payload-exact
+        round-trip.
+        """
+        archive = Path(os.path.expanduser(str(archive)))
+        stats = ImportStats()
+        pattern = re.compile(r"^records/([0-9a-f]{2})/([0-9a-f]{64})\.json$")
+        with tarfile.open(archive, "r:*") as tar:
+            for info in tar:
+                if info.name == _EXPORT_META:
+                    continue
+                match = pattern.match(info.name)
+                if match is None or not info.isfile() or match.group(2)[:2] != match.group(1):
+                    stats.rejected += 1
+                    continue
+                key = match.group(2)
+                handle = tar.extractfile(info)
+                raw = handle.read() if handle is not None else b""
+                try:
+                    record = json.loads(raw.decode("utf-8"))
+                    if not isinstance(record, dict) or record.get("key") != key:
+                        raise ValueError("key mismatch")
+                    record["payload"]  # noqa: B018 -- presence check
+                except (ValueError, KeyError):
+                    stats.rejected += 1
+                    continue
+                mine = self.peek(key)
+                if mine is None:
+                    self._write_bytes(key, raw)
+                    stats.imported += 1
+                elif canonical_json(mine["payload"]) == canonical_json(record["payload"]):
+                    stats.identical += 1
+                else:
+                    stats.conflicts.append(key)
+        return stats
 
 
 _DEFAULT_STORE: Optional[ResultStore] = None

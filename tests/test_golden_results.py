@@ -15,8 +15,14 @@ the warm-start guarantee.
 Regenerating the fixtures (after an intentional model change)::
 
     PYTHONPATH=src python -m pytest tests/test_golden_results.py --regen-goldens
+
+Setting ``REPRO_GOLDEN_STORE`` to a store directory makes the module
+warm-start from it instead of an empty one -- CI uses this to prove a
+2-shard merged campaign store reproduces all eight goldens
+byte-for-byte (see docs/sweeping.md).
 """
 
+import os
 import pathlib
 
 import pytest
@@ -33,9 +39,15 @@ ARTIFACTS = ("table1", "table2", "table3", "table4", "fig4", "fig5", "fig6", "fi
 
 @pytest.fixture(scope="module")
 def module_store(tmp_path_factory):
-    """An isolated, initially-empty result store for this module."""
+    """An isolated result store for this module.
+
+    Empty by default (so "cold" really means cold); pointed at an
+    existing store when ``REPRO_GOLDEN_STORE`` is set, which lets CI
+    replay the suite from a sharded-then-merged campaign store.
+    """
     mp = pytest.MonkeyPatch()
-    store_dir = tmp_path_factory.mktemp("golden-store")
+    warm = os.environ.get("REPRO_GOLDEN_STORE")
+    store_dir = pathlib.Path(warm) if warm else tmp_path_factory.mktemp("golden-store")
     mp.setenv("REPRO_STORE", str(store_dir))
     sweeplib.clear_memory_caches()
     yield store_dir
@@ -69,12 +81,15 @@ def test_artifact_matches_golden_cold(name, module_store, request):
 
 
 def test_artifacts_reproduce_warm_with_zero_simulations(module_store):
-    """The store alone replays every figure -- no kernel re-simulation."""
+    """The store alone replays every figure -- no kernel re-simulation,
+    no re-emulation."""
     sweeplib.clear_memory_caches()
     before = sweeplib.simulation_count()
+    emulations_before = sweeplib.emulation_count()
     for name in ARTIFACTS:
         assert artifact_json(name) == (GOLDEN_DIR / f"{name}.json").read_text()
     assert sweeplib.simulation_count() == before
+    assert sweeplib.emulation_count() == emulations_before
 
 
 def test_fig4_grid_warm_sweep_is_pure_store(module_store):
@@ -82,5 +97,6 @@ def test_fig4_grid_warm_sweep_is_pure_store(module_store):
     sweeplib.clear_memory_caches()
     report = sweeplib.sweep(sweeplib.fig4_points())
     assert report.simulated == 0
+    assert report.emulated == 0
     assert report.cached == report.total == len(sweeplib.fig4_points())
     assert set(report.sources) == {"store"}

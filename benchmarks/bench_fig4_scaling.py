@@ -45,19 +45,19 @@ def test_fig4_scaling_across_ways(benchmark):
     assert data[2]["idct"]["vmmx128"] > data[8]["idct"]["mmx128"]
 
 
-def test_fig4_sharded_campaign(benchmark, tmp_path, monkeypatch):
-    """Sharded vs single-process execution of the Fig. 4 point set.
+def test_fig4_orchestrated_campaign(benchmark, tmp_path, monkeypatch):
+    """Orchestrated N-shard campaign vs single-process execution.
 
-    Runs the grid once single-process and once as a 2-shard campaign
-    (each shard into its own store root, then merged), reporting
-    wall-clock and emulation counts for both.  Trace-grouped shard
-    assignment means the campaign as a whole emulates each kernel
-    exactly once -- the sharded emulation total equals the
-    single-process one -- and the merged store replays the grid with
-    zero simulations.
+    Runs the Fig. 4 grid once single-process and once as an
+    orchestrated 2-shard campaign (``repro.sweep.dispatch``: manifest,
+    per-shard stores, merge + verify + promote), reporting wall-clock
+    and emulation counts for both.  Trace-grouped shard assignment
+    means the campaign as a whole emulates each kernel exactly once --
+    the campaign emulation total equals the single-process one -- and
+    the *promoted* merged store replays the grid with zero simulations.
     """
     from repro import sweep as sweeplib
-    from repro.sweep import ResultStore, shard_store_root
+    from repro.sweep import CampaignManifest, run_campaign
 
     points = sweeplib.fig4_points()
     rows = []
@@ -73,27 +73,24 @@ def test_fig4_sharded_campaign(benchmark, tmp_path, monkeypatch):
         results["single-process"] = (
             time.perf_counter() - start, sweeplib.emulation_count() - emu
         )
-        # The same grid as a 2-shard campaign (sequential here; on a
-        # real campaign each shard is its own host/process).
+        # The same grid through the campaign orchestrator (a local
+        # executor here; on a real campaign each shard is its own
+        # host/process behind the same manifest).
+        manifest = CampaignManifest(
+            root=str(tmp_path / "campaign"), shards=2, grid="fig4"
+        )
         start = time.perf_counter()
         emu = sweeplib.emulation_count()
-        for index in range(2):
-            monkeypatch.setenv(
-                "REPRO_STORE", str(shard_store_root(tmp_path / "campaign", index, 2))
-            )
-            sweeplib.clear_memory_caches()
-            sweeplib.sweep(points, shard=(index, 2))
-        results["2-shard campaign"] = (
+        report = run_campaign(manifest)
+        assert report.ok and report.verified and report.promoted
+        results["2-shard campaign (orchestrated)"] = (
             time.perf_counter() - start, sweeplib.emulation_count() - emu
         )
-        merged = ResultStore(tmp_path / "merged")
-        for index in range(2):
-            merged.merge(ResultStore(shard_store_root(tmp_path / "campaign", index, 2)))
-        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "merged"))
+        monkeypatch.setenv("REPRO_STORE", report.merged_root)
         sweeplib.clear_memory_caches()
         start = time.perf_counter()
         warm = sweeplib.sweep(points)
-        results["merged store (warm)"] = (
+        results["promoted store (warm)"] = (
             time.perf_counter() - start, warm.emulated
         )
         assert warm.simulated == 0
@@ -107,9 +104,13 @@ def test_fig4_sharded_campaign(benchmark, tmp_path, monkeypatch):
         render_table(
             ("mode", "wall-clock", "emulations", "points"),
             rows,
-            title="Figure 4 grid: single-process vs 2-shard campaign",
+            title="Figure 4 grid: single-process vs orchestrated 2-shard "
+                  "campaign",
         )
     )
     # No shard duplicates an emulation: campaign total == single total.
-    assert results["2-shard campaign"][1] == results["single-process"][1]
-    assert results["merged store (warm)"][1] == 0
+    assert (
+        results["2-shard campaign (orchestrated)"][1]
+        == results["single-process"][1]
+    )
+    assert results["promoted store (warm)"][1] == 0

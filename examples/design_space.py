@@ -3,34 +3,40 @@
 Uses the Rixner-style area model (Table I) and the timing model together
 to ask the architect's question behind the paper: for a fixed area
 budget, is it better to widen a centralized 1-D SIMD file or to add
-lanes/banks to a distributed matrix file?
+lanes/banks to a distributed matrix file?  Then runs the same kind of
+exploration the way a big one would actually be executed: as an
+orchestrated, sharded campaign (``repro.sweep.dispatch``) whose merged
+result store is verified before anyone reads numbers from it.
 
 Run:  python examples/design_space.py
 """
 
 import os
 import sys
+import tempfile
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.hw.regfile import REGFILES, area_ratio
-from repro.kernels.base import execute
-from repro.kernels.registry import KERNELS
-from repro.timing.config import get_config, with_overrides
-from repro.timing.core import CoreModel
+from repro.sweep import SweepPoint, run_point
+from repro.timing.simulator import simulate_kernel
 
 
-def kernel_cycles(kernel, isa, way, **overrides):
-    run = execute(KERNELS[kernel], isa, seed=0)
-    config = get_config(isa, way)
-    if overrides:
-        config = with_overrides(config, **overrides)
-    model = CoreModel(config)
-    model.hier.warm(run.trace)
-    return model.run(run.trace).cycles
+def kernel_cycles(kernel, isa, way, **core_overrides):
+    """Cycles for one kernel point, via the store-aware sweep engine."""
+    if core_overrides:
+        timing = run_point(
+            SweepPoint(
+                kernel=kernel, version=isa, way=way,
+                core_overrides=core_overrides,
+            )
+        )
+    else:
+        timing = simulate_kernel(kernel, isa, way)
+    return timing.result.cycles
 
 
-def main() -> None:
+def area_versus_throughput() -> None:
     print("Register-file area (normalised to 4-way MMX64) vs idct throughput\n")
     print(f"{'design':>16s} {'area':>6s} {'banks':>6s} {'ports/bank':>11s} "
           f"{'idct cycles':>12s} {'perf/area':>10s}")
@@ -59,6 +65,67 @@ def main() -> None:
         "\nports -- area grows slowly while lanes keep the units fed,"
         "\nthe complexity argument of the paper's §II-C."
     )
+
+
+def orchestrated_campaign() -> None:
+    """A small design-space campaign, end to end through the orchestrator.
+
+    The same machinery scales to the full grid across hosts (see
+    docs/campaigns.md); here two local shards split a 16-point grid,
+    the orchestrator merges and verifies their stores, and the promoted
+    merged store answers every point without re-simulating.
+    """
+    from repro.sweep import (
+        CampaignManifest,
+        ResultStore,
+        run_campaign,
+        sweep,
+    )
+
+    print("\nOrchestrated 2-shard campaign over kernels x machines x ways:")
+    with tempfile.TemporaryDirectory() as scratch:
+        manifest = CampaignManifest(
+            root=os.path.join(scratch, "campaign"),
+            shards=2,
+            kernels=("idct", "ycc"),
+            machines=("mmx128", "vmmx128"),
+            ways=(2, 4),
+            executor="local",
+        )
+        report = run_campaign(manifest)
+        print(report.summary())
+        if not report.ok:
+            raise SystemExit("campaign failed; see its logs/ directory")
+
+        stats = ResultStore(report.merged_root).stats()
+        print(f"\nmerged store {stats['root']}:")
+        print(f"  {stats['records']} records, {stats['bytes']} bytes")
+        for kind, count in stats["by_kind"].items():
+            print(f"  {kind}: {count}")
+
+        # Reading the results back touches only the promoted store.
+        previous = os.environ.get("REPRO_STORE")
+        os.environ["REPRO_STORE"] = report.merged_root
+        try:
+            warm = sweep(manifest.points())
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_STORE", None)
+            else:
+                os.environ["REPRO_STORE"] = previous
+        print(f"\nwarm replay from the promoted store: {warm.summary()}")
+        best = min(
+            warm.points, key=lambda p: warm[p].cycles_per_invocation
+        )
+        print(
+            f"fastest point: {best.label} at "
+            f"{warm[best].cycles_per_invocation:.1f} cycles/invocation"
+        )
+
+
+def main() -> None:
+    area_versus_throughput()
+    orchestrated_campaign()
 
 
 if __name__ == "__main__":

@@ -2,7 +2,8 @@
 
 Run any kernel version on any modeled (or registered custom) machine,
 sweep a whole design-space grid in parallel with a persistent result
-store, or inspect/validate the machine registry::
+store, orchestrate a sharded campaign, or inspect/validate the machine
+registry::
 
     python -m repro kernel motion1 --isa vmmx128 --way 2
     python -m repro kernel idct --machine vmmx256 --way 16 --listing 20
@@ -10,6 +11,9 @@ store, or inspect/validate the machine registry::
     python -m repro sweep --kernels idct,ycc --isas mmx64,vmmx128 --ways 2,8
     python -m repro sweep --machines mmx256,vmmx256 --ways 2,16
     python -m repro sweep --grid fig4 --shard 1/2 --store-root /tmp/campaign --resume
+    python -m repro campaign run --grid fig4 --shards 2
+    python -m repro campaign status --root /tmp/campaign
+    python -m repro campaign resume --root /tmp/campaign
     python -m repro store --store-root /tmp/merged merge /tmp/campaign/shard-*
     python -m repro store verify
     python -m repro machines
@@ -23,6 +27,7 @@ import argparse
 import json
 import os
 import tarfile
+import time
 
 #: Default location of the pinned machine-fingerprint manifest
 #: (``machines --validate`` reads it, ``--write-manifest`` regenerates).
@@ -485,7 +490,158 @@ def _cmd_store(args) -> int:
     return 1
 
 
-def main(argv=None) -> int:
+def _campaign_manifest_from_args(args):
+    """Resolve the :class:`CampaignManifest` a campaign verb operates on.
+
+    Precedence: an explicit ``--manifest FILE``; else ``<--root>/
+    campaign.json`` when it exists and no axis flags were given; else a
+    fresh manifest built from the flags (written by ``run``).  Returns
+    ``(manifest, error_message)``.
+    """
+    from repro.sweep.dispatch import (
+        MANIFEST_NAME,
+        CampaignError,
+        CampaignManifest,
+        campaign_home,
+    )
+
+    if args.manifest is not None:
+        try:
+            return CampaignManifest.load(args.manifest), None
+        except CampaignError as exc:
+            return None, str(exc)
+    axis_flags = (args.grid, args.kernels, args.machines, args.ways,
+                  args.seeds, args.shards)
+    axes_given = any(value is not None for value in axis_flags)
+    if args.root is not None:
+        existing = os.path.join(os.path.expanduser(args.root), MANIFEST_NAME)
+        if os.path.exists(existing) and not axes_given:
+            try:
+                return CampaignManifest.load(existing), None
+            except CampaignError as exc:
+                return None, str(exc)
+        if args.verb in ("status", "resume") and not axes_given:
+            # Refuse to fabricate a default manifest for a directory
+            # that holds no campaign: status would otherwise report a
+            # phantom "0/N shards complete" for a mistyped --root.
+            return None, f"no campaign manifest at {existing}"
+    if args.verb in ("status", "resume") and not axes_given and args.root is None:
+        return None, (
+            f"name the campaign: --root DIR (holding {MANIFEST_NAME}), "
+            "--manifest FILE, or the original --grid/--shards flags"
+        )
+    # Only the flags the user actually gave are passed along, so
+    # CampaignManifest's own dataclass defaults stay the single source
+    # of truth for every campaign default.
+    kwargs = {"root": args.root or "", "grid": args.grid}
+    if args.kernels:
+        kwargs["kernels"] = _split(args.kernels)
+    if args.machines:
+        kwargs["machines"] = _split(args.machines)
+    try:
+        if args.ways:
+            kwargs["ways"] = tuple(int(w) for w in _split(args.ways))
+        if args.seeds:
+            kwargs["seeds"] = tuple(int(s) for s in _split(args.seeds))
+        for name, value in (
+            ("shards", args.shards),
+            ("executor", args.executor),
+            ("jobs", args.jobs),
+            ("max_attempts", args.retries),
+        ):
+            if value is not None:
+                kwargs[name] = value
+        manifest = CampaignManifest(**kwargs)
+    except (CampaignError, ValueError) as exc:
+        return None, str(exc)
+    if not manifest.root:
+        # Deterministic default root: rerunning the same command finds
+        # the same campaign directory and therefore resumes it.
+        import dataclasses
+
+        manifest = dataclasses.replace(
+            manifest, root=str(campaign_home() / manifest.slug())
+        )
+    return manifest, None
+
+
+def _cmd_campaign(args) -> int:
+    import dataclasses
+
+    from repro.sweep.dispatch import (
+        CampaignError,
+        campaign_status,
+        make_executor,
+        run_campaign,
+    )
+
+    manifest, error = _campaign_manifest_from_args(args)
+    if manifest is None:
+        print(error)
+        return 1
+    # Policy flags override what a loaded manifest recorded: resuming a
+    # dead subprocess campaign with --executor local is legitimate.
+    overrides = {}
+    if args.executor is not None:
+        overrides["executor"] = args.executor
+    if args.jobs is not None:
+        overrides["jobs"] = args.jobs
+    if args.retries is not None:
+        overrides["max_attempts"] = args.retries
+    if overrides:
+        try:
+            manifest = dataclasses.replace(manifest, **overrides)
+        except CampaignError as exc:
+            print(exc)
+            return 1
+
+    if (
+        args.verb in ("status", "resume")
+        and args.manifest is None
+        and not manifest.manifest_path().exists()
+    ):
+        # Axis flags that resolve to a campaign that was never started
+        # must error like a mistyped --root would, not report a phantom
+        # "0/N shards complete".
+        print(
+            f"no campaign manifest at {manifest.manifest_path()}; "
+            "start the campaign with 'python -m repro campaign run'"
+        )
+        return 1
+
+    if args.verb == "status":
+        report = campaign_status(manifest)
+        print(report.summary())
+        for status in report.shards:
+            beat = status.progress.heartbeat
+            if beat is not None and not status.progress.done:
+                print(
+                    f"  shard {status.index + 1} last checkpoint write: "
+                    f"{time.time() - beat:.0f}s ago"
+                )
+        return 0
+
+    def echo(line: str) -> None:
+        if not args.quiet:
+            print(line)
+
+    try:
+        executor = make_executor(manifest.executor)
+        report = run_campaign(manifest, executor=executor, echo=echo)
+    except CampaignError as exc:
+        print(exc)
+        return 1
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The complete ``python -m repro`` argument parser.
+
+    Exposed as a function so tests (and the docs link-checker) can
+    introspect the registered subcommands and their flags without
+    executing anything.
+    """
     from repro.emu import VERSION_NAMES
 
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -581,6 +737,76 @@ def main(argv=None) -> int:
     export.add_argument("archive", metavar="ARCHIVE.tar.gz")
     imp = verbs.add_parser("import", help="load an exported tarball")
     imp.add_argument("archive", metavar="ARCHIVE.tar.gz")
+    campaign = sub.add_parser(
+        "campaign",
+        help="orchestrate a sharded sweep campaign (run, status, resume)",
+    )
+    campaign_verbs = campaign.add_subparsers(dest="verb", required=True)
+    campaign_run = campaign_verbs.add_parser(
+        "run",
+        help="launch every shard of a campaign, then merge + verify + "
+             "promote the result store (idempotent: complete shards are "
+             "skipped)",
+    )
+    campaign_status_p = campaign_verbs.add_parser(
+        "status",
+        help="per-shard progress and heartbeats, read from the checkpoint "
+             "records (safe while workers run)",
+    )
+    campaign_resume = campaign_verbs.add_parser(
+        "resume",
+        help="restart a killed campaign from its manifest + checkpoints "
+             "(recomputes only missing points)",
+    )
+    for verb_parser in (campaign_run, campaign_status_p, campaign_resume):
+        verb_parser.add_argument(
+            "--root", default=None, metavar="DIR",
+            help="campaign directory (holds campaign.json, the per-shard "
+                 "stores, logs/ and the promoted merged store; default: a "
+                 "deterministic directory under $REPRO_CAMPAIGN_HOME or "
+                 "~/.cache/repro-campaigns)")
+        verb_parser.add_argument(
+            "--manifest", default=None, metavar="FILE",
+            help="explicit campaign manifest to operate on (overrides "
+                 "--root)")
+        verb_parser.add_argument(
+            "--grid", default=None, metavar="NAME",
+            help="named grid: fig4, fig5, fig6, fig7 or full")
+        verb_parser.add_argument(
+            "--kernels", default=None,
+            help="comma-separated kernel names (default: all)")
+        verb_parser.add_argument(
+            "--machines", default=None,
+            help="comma-separated registered machine names (default: the "
+                 "four paper ISAs)")
+        verb_parser.add_argument(
+            "--ways", default=None,
+            help="comma-separated machine widths (default: 2,4,8)")
+        verb_parser.add_argument(
+            "--seeds", default=None,
+            help="comma-separated workload seeds (default: 0)")
+        verb_parser.add_argument(
+            "--shards", type=int, default=None, metavar="N",
+            help="number of shards to split the campaign into (default: 2)")
+        verb_parser.add_argument(
+            "--executor", default=None, metavar="NAME",
+            help="shard launcher: 'local' (in-process, default) or "
+                 "'subprocess' (one python -m repro sweep worker per shard)")
+        verb_parser.add_argument(
+            "--jobs", type=int, default=None, metavar="N",
+            help="worker processes per shard sweep (default: 1)")
+        verb_parser.add_argument(
+            "--retries", type=int, default=None, metavar="K",
+            help="maximum attempts per shard before the campaign fails "
+                 "(default: 3; every attempt resumes, never recomputes)")
+        verb_parser.add_argument(
+            "--quiet", action="store_true",
+            help="only print the final campaign summary")
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
@@ -590,6 +816,8 @@ def main(argv=None) -> int:
         return _cmd_sweep(args)
     if args.command == "store":
         return _cmd_store(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "kernel" and args.machine is None and args.isa == "scalar":
         print("timing configs exist for SIMD ISAs; use --isa mmx64/.../vmmx128")
         return 1

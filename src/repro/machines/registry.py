@@ -91,9 +91,17 @@ _SPECS: Dict[Tuple[str, int], MachineSpec] = {}
 def register_machine(family: MachineFamily, replace: bool = False) -> MachineFamily:
     """Add a machine family to the registry.
 
+    A family is a name plus architected geometry plus per-resource
+    scaling curves; once registered, :func:`get_machine` resolves it at
+    *any* positive width, ``python -m repro machines`` lists it, and
+    every sweep/CLI axis (``--machine``/``--machines``) accepts it --
+    see ``docs/machines.md`` for a worked custom-machine example.
+
     The program must be resolvable: either the family itself or an
     already-registered family that is its own program (one level of
-    binary aliasing -- a machine cannot alias an alias).
+    binary aliasing -- a machine cannot alias an alias).  Registering
+    an existing name raises :class:`DuplicateMachineError` unless
+    ``replace=True``.
     """
     if family.name in _FAMILIES and not replace:
         raise DuplicateMachineError(

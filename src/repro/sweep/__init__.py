@@ -9,19 +9,40 @@ object:
 * :mod:`repro.sweep.store` -- a content-addressed on-disk store keyed by
   point + resolved-configuration fingerprint + simulator code digest;
 * :mod:`repro.sweep.engine` -- parallel execution over a process pool
-  with deterministic chunking, warm-starting from the store.
+  with deterministic chunking, warm-starting from the store;
+* :mod:`repro.sweep.dispatch` -- the campaign orchestrator: shard a
+  grid across pluggable executors, supervise/retry the workers, and
+  merge + verify + promote the per-shard stores.
 
-``python -m repro sweep`` is the CLI front end.
+``python -m repro sweep`` and ``python -m repro campaign`` are the CLI
+front ends.
 """
 
+from repro.sweep.dispatch import (
+    CampaignError,
+    CampaignManifest,
+    CampaignReport,
+    Executor,
+    LocalExecutor,
+    ShardOutcome,
+    ShardStatus,
+    SubprocessExecutor,
+    campaign_status,
+    make_executor,
+    run_campaign,
+    shard_command,
+)
 from repro.sweep.engine import (
+    ShardProgress,
     SweepInterrupted,
     SweepReport,
     acquire_trace,
+    checkpoint_key,
     clear_trace_memo,
     compute_point,
     default_jobs,
     emulation_count,
+    keys_progress,
     point_key,
     reset_simulation_count,
     resolve_configs,
@@ -29,12 +50,14 @@ from repro.sweep.engine import (
     set_compute_budget,
     simulation_count,
     sweep,
+    sweep_progress,
     trace_key,
 )
 from repro.sweep.points import (
     GRIDS,
     SweepPoint,
     dedupe,
+    shard_assignment,
     fig4_points,
     fig5_points,
     fig6_points,
@@ -78,15 +101,26 @@ def clear_memory_caches() -> None:
 
 __all__ = [
     "GRIDS",
+    "CampaignError",
+    "CampaignManifest",
+    "CampaignReport",
+    "Executor",
     "GcStats",
     "ImportStats",
+    "LocalExecutor",
     "MergeStats",
     "ResultStore",
+    "ShardOutcome",
+    "ShardProgress",
+    "ShardStatus",
+    "SubprocessExecutor",
     "SweepInterrupted",
     "SweepPoint",
     "SweepReport",
     "VerifyReport",
     "acquire_trace",
+    "campaign_status",
+    "checkpoint_key",
     "clear_memory_caches",
     "clear_trace_memo",
     "code_version",
@@ -96,6 +130,9 @@ __all__ = [
     "default_jobs",
     "default_store",
     "emulation_count",
+    "keys_progress",
+    "make_executor",
+    "run_campaign",
     "fig4_points",
     "fig5_points",
     "fig6_points",
@@ -110,9 +147,12 @@ __all__ = [
     "run_point",
     "set_compute_budget",
     "shard",
+    "shard_assignment",
+    "shard_command",
     "shard_store_root",
     "simulation_count",
     "stable_hash",
     "sweep",
+    "sweep_progress",
     "trace_key",
 ]

@@ -377,6 +377,103 @@ class SweepReport:
         return text
 
 
+def checkpoint_key(point_keys: Sequence[str], shard: Optional[Tuple[int, int]]) -> str:
+    """Content address of a campaign's ``sweep-checkpoint`` record.
+
+    One checkpoint per (point set, shard spec): the same construction
+    :func:`sweep` writes through when ``resume=True``, exposed so an
+    orchestrator (:mod:`repro.sweep.dispatch`) can locate a shard's
+    progress record from nothing but the point list -- the assignment
+    and the keys are pure functions, so supervisor and worker agree on
+    the address without communicating.
+    """
+    return record_key(
+        "sweep-checkpoint",
+        {
+            "points": sorted(point_keys),
+            "shard": list(shard) if shard is not None else None,
+        },
+    )
+
+
+@dataclass
+class ShardProgress:
+    """One shard's progress, read straight from its result store.
+
+    ``completed`` comes from the shard's ``sweep-checkpoint`` record
+    (what an interrupted worker had acknowledged); ``present`` counts
+    the point records actually on disk -- the ground truth a restart
+    recomputes from, and the number :attr:`done` is defined over.
+    ``heartbeat`` is the checkpoint file's mtime (seconds since epoch),
+    the liveness signal a supervisor watches while a worker runs.
+    """
+
+    total: int
+    completed: int = 0
+    present: int = 0
+    heartbeat: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        """Every point record of the shard exists in the store."""
+        return self.present >= self.total
+
+    @property
+    def missing(self) -> int:
+        return self.total - self.present
+
+    def summary(self) -> str:
+        state = "complete" if self.done else f"{self.missing} missing"
+        return f"{self.present}/{self.total} points in store ({state})"
+
+
+def keys_progress(
+    store: Any,
+    keys: Sequence[str],
+    shard: Optional[Tuple[int, int]] = None,
+) -> ShardProgress:
+    """:class:`ShardProgress` for precomputed point keys (read-only).
+
+    The orchestrator derives every shard's key list once up front and
+    polls through here, so supervision does not re-hash the design
+    space on every heartbeat.
+    """
+    progress = ShardProgress(total=len(keys))
+    if store is None:
+        return progress
+    progress.present = len(keys) - len(store.missing(keys))
+    ck_key = checkpoint_key(keys, shard)
+    record = store.peek(ck_key)
+    if record is not None:
+        payload = record["payload"]
+        completed = payload.get("completed", []) if isinstance(payload, dict) else []
+        progress.completed = len(set(completed) & set(keys))
+        try:
+            progress.heartbeat = store.path_for(ck_key).stat().st_mtime
+        except OSError:
+            progress.heartbeat = None
+    return progress
+
+
+def sweep_progress(
+    points: Sequence[SweepPoint],
+    shard: Optional[Tuple[int, int]] = None,
+    store: Any = _USE_DEFAULT,
+) -> ShardProgress:
+    """Progress of a (possibly sharded) campaign against ``store``.
+
+    Read-only: consults the checkpoint record and the point records
+    without computing, writing or quarantining anything, so a
+    supervisor can poll it while a worker is mid-flight.
+    """
+    if store is _USE_DEFAULT:
+        store = default_store()
+    points = dedupe(points)
+    if shard is not None:
+        points = shard_points(points, shard[0], shard[1])
+    return keys_progress(store, [point_key(p) for p in points], shard)
+
+
 class _Checkpoint:
     """Campaign progress record for ``sweep(..., resume=True)``.
 
@@ -395,13 +492,7 @@ class _Checkpoint:
                  shard: Optional[Tuple[int, int]]) -> None:
         self.store = store
         self.total = len(point_keys)
-        self.key = record_key(
-            "sweep-checkpoint",
-            {
-                "points": sorted(point_keys),
-                "shard": list(shard) if shard is not None else None,
-            },
-        )
+        self.key = checkpoint_key(point_keys, shard)
         payload = load_payload(store, self.key)
         completed = (
             payload.get("completed", []) if isinstance(payload, dict) else []
@@ -450,6 +541,13 @@ def sweep(
     arguments recomputes only what is genuinely missing.  Every result
     record is persisted the moment it is computed in either mode --
     interruption can never lose completed work.
+
+    This function is one shard's worth of work.  To launch, supervise
+    and reunify all N shards of a campaign, use
+    :func:`repro.sweep.dispatch.run_campaign` (CLI:
+    ``python -m repro campaign``) -- it layers retries, heartbeat
+    supervision and merge + verify + promote on top of exactly this
+    entry point.
     """
     if store is _USE_DEFAULT:
         store = default_store()

@@ -194,6 +194,46 @@ def dedupe(points: Iterable[SweepPoint]) -> List[SweepPoint]:
     return out
 
 
+def shard_assignment(
+    points: Iterable[SweepPoint], count: int
+) -> List[List[SweepPoint]]:
+    """All ``count`` shards of the deduplicated point list at once.
+
+    The full assignment behind :func:`shard`: element ``i`` is exactly
+    ``shard(points, i, count)``.  A campaign orchestrator uses this to
+    know every shard's point set (totals, progress denominators, store
+    keys) without recomputing the greedy placement per shard.  Like
+    :func:`shard`, the result is a pure function of the point list, so
+    every host -- and the orchestrator supervising them -- computes the
+    identical partition.
+    """
+    if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+        raise ValueError(
+            f"shard count must be a positive integer, got {count!r}"
+        )
+    ordered = dedupe(points)
+    if count == 1:
+        return [ordered]
+    from repro.sweep.engine import trace_key
+
+    groups: Dict[str, List[Tuple[int, SweepPoint]]] = {}
+    for position, point in enumerate(ordered):
+        groups.setdefault(trace_key(point), []).append((position, point))
+    # Largest groups placed first onto the least-loaded shard; every
+    # tie broken by first-occurrence position then shard number, so the
+    # assignment is a pure function of the point list.
+    loads = [0] * count
+    assigned: List[List[Tuple[int, SweepPoint]]] = [[] for _ in range(count)]
+    for members in sorted(groups.values(), key=lambda m: (-len(m), m[0][0])):
+        target = min(range(count), key=lambda s: (loads[s], s))
+        loads[target] += len(members)
+        assigned[target].extend(members)
+    return [
+        [point for _, point in sorted(members, key=lambda m: m[0])]
+        for members in assigned
+    ]
+
+
 def shard(points: Iterable[SweepPoint], index: int, count: int) -> List[SweepPoint]:
     """Deterministic shard ``index`` (0-based) of ``count`` shards.
 
@@ -206,7 +246,7 @@ def shard(points: Iterable[SweepPoint], index: int, count: int) -> List[SweepPoi
     (largest group first, ties to the lower shard) and every shard
     keeps its points in original order.  The shards partition the
     deduplicated point list exactly: no loss, no overlap, for any
-    ``count``.
+    ``count`` (see :func:`shard_assignment` for the whole partition).
     """
     if not isinstance(count, int) or isinstance(count, bool) or count < 1:
         raise ValueError(
@@ -216,25 +256,7 @@ def shard(points: Iterable[SweepPoint], index: int, count: int) -> List[SweepPoi
         raise ValueError(
             f"shard index must be in [0, {count}), got {index!r}"
         )
-    ordered = dedupe(points)
-    if count == 1:
-        return ordered
-    from repro.sweep.engine import trace_key
-
-    groups: Dict[str, List[Tuple[int, SweepPoint]]] = {}
-    for position, point in enumerate(ordered):
-        groups.setdefault(trace_key(point), []).append((position, point))
-    # Largest groups placed first onto the least-loaded shard; every
-    # tie broken by first-occurrence position then shard number, so the
-    # assignment is a pure function of the point list.
-    loads = [0] * count
-    mine: List[Tuple[int, SweepPoint]] = []
-    for members in sorted(groups.values(), key=lambda m: (-len(m), m[0][0])):
-        target = min(range(count), key=lambda s: (loads[s], s))
-        loads[target] += len(members)
-        if target == index:
-            mine.extend(members)
-    return [point for _, point in sorted(mine, key=lambda m: m[0])]
+    return shard_assignment(points, count)[index]
 
 
 def parse_shard_spec(spec: str) -> Tuple[int, int]:

@@ -1,11 +1,12 @@
 """Content-addressed on-disk store for simulation results.
 
-Four record kinds share the store: ``kernel-timing`` (a
+Five record kinds share the store: ``kernel-timing`` (a
 :class:`KernelTiming` with its :class:`SimResult`), ``app-profile``,
-``scalar-ipc``, and ``trace`` -- the compact binary serialisation of a
+``scalar-ipc``, ``trace`` -- the compact binary serialisation of a
 columnar dynamic trace (:func:`trace_to_payload`), which lets sweeps
 re-time a cached trace on new configurations without re-emulating the
-kernel.
+kernel -- and ``sweep-checkpoint``, the resume/progress record of a
+(possibly sharded) campaign (:func:`repro.sweep.engine.checkpoint_key`).
 
 Every record is one JSON file whose name is the SHA-256 of a canonical
 description of what produced it: the sweep point, the *resolved*
@@ -359,7 +360,9 @@ class ResultStore:
     every payload, :meth:`stats` summarises the contents, and
     :meth:`export`/:meth:`import_` round-trip the records through a
     deterministic tarball for host-to-host transfer.  All of these are
-    surfaced as ``python -m repro store`` verbs.
+    surfaced as ``python -m repro store`` verbs, and the campaign
+    orchestrator (``docs/campaigns.md``) drives :meth:`merge` +
+    :meth:`verify` automatically before promoting a merged store.
     """
 
     def __init__(self, root) -> None:
@@ -445,6 +448,15 @@ class ResultStore:
 
     def __len__(self) -> int:
         return sum(1 for _ in self.iter_keys())
+
+    def missing(self, keys: Iterable[str]) -> List[str]:
+        """The subset of ``keys`` with no record in this store, in order.
+
+        Read-only (no quarantining): the campaign orchestrator uses it
+        to decide whether a shard store is complete before promoting a
+        merge, and to report what a resume would recompute.
+        """
+        return [key for key in keys if key not in self]
 
     def iter_keys(self) -> Iterator[str]:
         records = self.root / "records"

@@ -15,8 +15,15 @@ Two ways to run:
   self-contained CLI used by the CI perf-smoke step: measures both
   rates (and, with ``--budget full``, a cold + warm-trace Fig. 4 kernel
   sweep), writes them to the benchmark JSON so the perf trajectory is
-  tracked over time, and fails when a rate regresses more than 3x below
-  the checked-in floor.
+  tracked over time, and fails when a rate drops below the checked-in
+  floor (floors are set to roughly one-third of the rates measured when
+  they were last raised, so slower CI hardware has headroom).
+
+The emulation headline is the *batched* rate: ``execute_batch`` over
+``emulation_batch_seeds`` seeds of ycc/mmx64, total emulated dynamic
+instructions divided by wall time.  The record-at-a-time rate is kept
+alongside as ``reference_emulated_instructions_per_sec`` so the batch
+engine's advantage stays visible in the trajectory.
 """
 
 import argparse
@@ -29,7 +36,7 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 )
 
-from repro.kernels.base import execute  # noqa: E402
+from repro.kernels.base import execute, execute_batch  # noqa: E402
 from repro.kernels.registry import KERNELS  # noqa: E402
 from repro.timing.config import get_config  # noqa: E402
 from repro.timing.core import CoreModel  # noqa: E402
@@ -37,8 +44,8 @@ from repro.timing.core import CoreModel  # noqa: E402
 #: Rates measured by :func:`measure_model_speed` and guarded by the floor.
 RATE_KEYS = ("emulated_instructions_per_sec", "retimed_instructions_per_sec")
 
-#: A measured rate below ``floor / REGRESSION_FACTOR`` fails the smoke.
-REGRESSION_FACTOR = 3.0
+#: Seeds per batched-emulation pass (the headline emulation rate).
+BATCH_SEEDS = 16
 
 
 # ---------------------------------------------------------------------------
@@ -55,6 +62,18 @@ def test_emulation_throughput(benchmark):
 
     instructions = benchmark(work)
     assert instructions > 10_000
+
+
+def test_batch_emulation_throughput(benchmark):
+    """Batched per-seed instructions emulated per second (ycc, mmx64)."""
+    spec = KERNELS["ycc"]
+    seeds = list(range(BATCH_SEEDS))
+
+    def work():
+        return sum(len(r.trace) for r in execute_batch(spec, "mmx64", seeds))
+
+    instructions = benchmark(work)
+    assert instructions > 10_000 * BATCH_SEEDS
 
 
 def test_timing_model_throughput(benchmark):
@@ -104,12 +123,21 @@ def measure_model_speed(budget="ci"):
 
     trace_holder = {}
 
-    def emulate():
+    def emulate_reference():
         trace_holder["trace"] = execute(spec, "mmx64", seed=0).trace
 
-    emulate()  # warm imports/workload caches before timing
+    emulate_reference()  # warm imports/workload caches before timing
     n = len(trace_holder["trace"])
-    emu_rate = _best_rate(emulate, n, reps)
+    reference_rate = _best_rate(emulate_reference, n, reps)
+
+    seeds = list(range(BATCH_SEEDS))
+
+    def emulate_batch():
+        trace_holder["runs"] = execute_batch(spec, "mmx64", seeds)
+
+    emulate_batch()
+    batch_instructions = sum(len(run.trace) for run in trace_holder["runs"])
+    emu_rate = _best_rate(emulate_batch, batch_instructions, reps)
 
     cols = trace_holder["trace"].columns()
 
@@ -123,7 +151,9 @@ def measure_model_speed(budget="ci"):
     results = {
         "budget": budget,
         "trace_instructions": n,
+        "emulation_batch_seeds": BATCH_SEEDS,
         "emulated_instructions_per_sec": round(emu_rate),
+        "reference_emulated_instructions_per_sec": round(reference_rate),
         "retimed_instructions_per_sec": round(retime_rate),
     }
     if budget == "full":
@@ -188,22 +218,25 @@ def _measure_fig4_sweep():
 
 
 def check_floor(results, floor_path):
-    """Fail (return False) if any rate is >3x below its floor."""
+    """Fail (return False) when any measured rate drops below its floor.
+
+    The floor is the failure threshold itself -- no hidden extra margin.
+    The slack for slow CI hardware lives in how the floors are *chosen*
+    (one-third of the rates measured when they were last raised), so the
+    number in ``perf_floor.json`` is exactly the number the smoke
+    enforces.
+    """
     with open(floor_path) as handle:
         floors = json.load(handle)
     ok = True
     for key in RATE_KEYS:
         floor = floors.get(key)
-        if floor is None:
+        rate = results.get(key)
+        if floor is None or rate is None:
             continue
-        threshold = floor / REGRESSION_FACTOR
-        rate = results[key]
-        status = "ok" if rate >= threshold else "REGRESSION"
-        print(
-            f"{key}: {rate:,.0f}/s (floor {floor:,.0f}, "
-            f"fail below {threshold:,.0f}) {status}"
-        )
-        if rate < threshold:
+        status = "ok" if rate >= floor else "REGRESSION"
+        print(f"{key}: {rate:,.0f}/s (floor {floor:,.0f}) {status}")
+        if rate < floor:
             ok = False
     return ok
 
@@ -217,7 +250,7 @@ def main(argv=None):
     )
     parser.add_argument(
         "--check-floor", metavar="PATH",
-        help="fail if a rate regresses >3x below the floor in this file",
+        help="fail if a measured rate drops below a floor in this file",
     )
     args = parser.parse_args(argv)
 

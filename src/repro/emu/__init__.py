@@ -8,6 +8,16 @@ VMMX128 plus the scalar baseline.
 
 from typing import Optional
 
+from repro.emu.batch import (
+    BatchDivergence,
+    BatchMemory,
+    BatchMMXMachine,
+    BatchScalarMachine,
+    BatchVMMXMachine,
+    PlaneMemory,
+    batch_enabled,
+    make_batch_machine,
+)
 from repro.emu.handles import AccReg, MAccReg, MReg, SReg, VReg
 from repro.emu.memory import Memory
 from repro.emu.mmx import MMXMachine
@@ -50,7 +60,9 @@ def make_machine(isa: str, mem: Memory, trace: Optional[Trace] = None):
 
 
 __all__ = [
-    "AccReg", "ISA_NAMES", "MAccReg", "MMXMachine", "MReg", "Memory",
-    "SReg", "ScalarMachine", "Trace", "VERSION_NAMES", "VMMXMachine",
-    "VReg", "make_machine",
+    "AccReg", "BatchDivergence", "BatchMMXMachine", "BatchMemory",
+    "BatchScalarMachine", "BatchVMMXMachine", "ISA_NAMES", "MAccReg",
+    "MMXMachine", "MReg", "Memory", "PlaneMemory", "SReg",
+    "ScalarMachine", "Trace", "VERSION_NAMES", "VMMXMachine", "VReg",
+    "batch_enabled", "make_batch_machine", "make_machine",
 ]

@@ -62,6 +62,17 @@ class ScalarMachine:
     def _sreg(self, value: int) -> SReg:
         return SReg(self._new_id(), _mask64(value))
 
+    def value(self, x: Operand):
+        """Architectural value of an operand, outside the traced program.
+
+        Kernels use this to hand results back to the verification layer
+        (no instruction is emitted).  On this machine it is a plain
+        ``int``; on the batched machine it is the per-seed value array,
+        which is why kernels returning scalars must go through ``value``
+        rather than ``int(reg)``.
+        """
+        return self._val(x)
+
     # -- scalar ALU --------------------------------------------------------
 
     def li(self, value: int) -> SReg:
@@ -84,11 +95,11 @@ class ScalarMachine:
     def mul(self, a: Operand, b: Operand) -> SReg:
         return self._alu("mul", a, b, self._val(a) * self._val(b), Latency.INT_MUL)
 
-    def sll(self, a: Operand, count: int) -> SReg:
-        return self._alu("sll", a, count, self._val(a) << count)
+    def sll(self, a: Operand, count: Operand) -> SReg:
+        return self._alu("sll", a, count, self._val(a) << self._val(count))
 
-    def sra(self, a: Operand, count: int) -> SReg:
-        return self._alu("sra", a, count, self._val(a) >> count)
+    def sra(self, a: Operand, count: Operand) -> SReg:
+        return self._alu("sra", a, count, self._val(a) >> self._val(count))
 
     def and_(self, a: Operand, b: Operand) -> SReg:
         return self._alu("and", a, b, self._val(a) & self._val(b))

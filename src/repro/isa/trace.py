@@ -433,34 +433,108 @@ class TraceBuilder(_TraceView):
             pc=record.pc,
         )
 
+    def emit_block(
+        self,
+        mnemonics: Sequence[str],
+        name_id: Sequence[int],
+        category: Sequence[int],
+        fu: Sequence[int],
+        latency: Sequence[int],
+        addr: Sequence[int],
+        row_bytes: Sequence[int],
+        rows: Sequence[int],
+        stride: Sequence[int],
+        pc: Sequence[int],
+        is_store: Sequence[bool],
+        is_branch: Sequence[bool],
+        taken: Sequence[bool],
+        src_off: Sequence[int],
+        src_ids: Sequence[int],
+        dst_off: Sequence[int],
+        dst_ids: Sequence[int],
+    ) -> None:
+        """Append a whole block of dynamic instructions from column data.
+
+        The bulk counterpart of :meth:`emit`: one call appends ``n``
+        instructions given as parallel columns (lists or arrays), paying
+        Python interpreter cost per *column*, not per instruction.  This
+        is the path block producers use -- :meth:`extend` routes through
+        it, and the batch emulation layer (:mod:`repro.emu.batch`)
+        relies on it when materialising per-kernel trace segments.
+
+        ``category``/``fu`` hold the stable wire codes (see
+        :data:`CAT_CODE`/:data:`FU_CODE`), ``name_id`` indexes the
+        block-local ``mnemonics`` pool (remapped into this builder's
+        pool), and ``src_off``/``dst_off`` are the block-local CSR
+        offsets -- length ``n + 1`` starting at 0 -- over
+        ``src_ids``/``dst_ids``.
+        """
+        n = len(name_id)
+        for label, col in (
+            ("category", category), ("fu", fu), ("latency", latency),
+            ("addr", addr), ("row_bytes", row_bytes), ("rows", rows),
+            ("stride", stride), ("pc", pc), ("is_store", is_store),
+            ("is_branch", is_branch), ("taken", taken),
+        ):
+            if len(col) != n:
+                raise ValueError(
+                    f"emit_block column {label!r} has {len(col)} entries, "
+                    f"expected {n}"
+                )
+        if len(src_off) != n + 1 or len(dst_off) != n + 1:
+            raise ValueError(
+                "emit_block offset columns must have n + 1 entries "
+                f"(got src_off={len(src_off)}, dst_off={len(dst_off)} "
+                f"for n={n})"
+            )
+        remap = []
+        for name in mnemonics:
+            nid = self._pool_index.get(name)
+            if nid is None:
+                nid = self._pool_index[name] = len(self._pool)
+                self._pool.append(name)
+            remap.append(nid)
+        self._names.extend(remap[i] for i in name_id)
+        self._cat.extend(int(x) for x in category)
+        self._fu.extend(int(x) for x in fu)
+        self._lat.extend(int(x) for x in latency)
+        self._addr.extend(int(x) for x in addr)
+        self._rowb.extend(int(x) for x in row_bytes)
+        self._rows.extend(int(x) for x in rows)
+        self._stride.extend(int(x) for x in stride)
+        self._pc.extend(int(x) for x in pc)
+        self._store.extend(bool(x) for x in is_store)
+        self._branch.extend(bool(x) for x in is_branch)
+        self._taken.extend(bool(x) for x in taken)
+        src_base = len(self._src_ids)
+        self._src_ids.extend(int(x) for x in src_ids)
+        self._src_off.extend(src_base + int(off) for off in src_off[1:])
+        dst_base = len(self._dst_ids)
+        self._dst_ids.extend(int(x) for x in dst_ids)
+        self._dst_off.extend(dst_base + int(off) for off in dst_off[1:])
+        self._generation += 1
+
     def extend(self, other: "TraceBuilder") -> None:
         """Concatenate another trace (used to batch kernel invocations)."""
-        remap = []
-        for name in other._pool:
-            name_id = self._pool_index.get(name)
-            if name_id is None:
-                name_id = self._pool_index[name] = len(self._pool)
-                self._pool.append(name)
-            remap.append(name_id)
-        self._names.extend(remap[i] for i in other._names)
-        self._cat.extend(other._cat)
-        self._fu.extend(other._fu)
-        self._lat.extend(other._lat)
-        self._addr.extend(other._addr)
-        self._rowb.extend(other._rowb)
-        self._rows.extend(other._rows)
-        self._stride.extend(other._stride)
-        self._pc.extend(other._pc)
-        self._store.extend(other._store)
-        self._branch.extend(other._branch)
-        self._taken.extend(other._taken)
-        src_base = len(self._src_ids)
-        self._src_ids.extend(other._src_ids)
-        self._src_off.extend(src_base + off for off in other._src_off[1:])
-        dst_base = len(self._dst_ids)
-        self._dst_ids.extend(other._dst_ids)
-        self._dst_off.extend(dst_base + off for off in other._dst_off[1:])
-        self._generation += 1
+        self.emit_block(
+            other._pool,
+            other._names,
+            other._cat,
+            other._fu,
+            other._lat,
+            other._addr,
+            other._rowb,
+            other._rows,
+            other._stride,
+            other._pc,
+            other._store,
+            other._branch,
+            other._taken,
+            other._src_off,
+            other._src_ids,
+            other._dst_off,
+            other._dst_ids,
+        )
 
     # -- streaming (bounded-memory application runs) ----------------------
 

@@ -24,6 +24,12 @@ from typing import Any, Callable, Dict, Optional
 import numpy as np
 
 from repro.emu import Memory, Trace, make_machine
+from repro.emu.batch import (
+    BatchDivergence,
+    BatchMemory,
+    batch_enabled,
+    make_batch_machine,
+)
 
 #: Workloads are plain dicts: addresses, geometry parameters and the numpy
 #: input arrays the golden reference needs.
@@ -108,3 +114,80 @@ def execute(spec: KernelSpec, version: str, seed: int = 0) -> KernelRun:
         expected=spec.expected(wl, version),
         workload=wl,
     )
+
+
+def _seed_output(returned: Any, seed_index: int) -> Any:
+    """Extract one seed's slice from a batched kernel return value.
+
+    Batched machines hand back per-seed value arrays wherever the
+    reference machine would return one ``int`` (see
+    ``ScalarMachine.value``); containers keep their structure.
+    """
+    if isinstance(returned, (tuple, list)):
+        out = [_seed_output(item, seed_index) for item in returned]
+        return type(returned)(out) if isinstance(returned, tuple) else out
+    if isinstance(returned, np.ndarray):
+        return int(returned[seed_index])
+    return int(returned)
+
+
+def _execute_batched(spec: KernelSpec, version: str, seeds) -> Optional[list]:
+    """One batched pass over all seeds, or ``None`` if the batch cannot run.
+
+    Returns ``None`` -- signalling the caller to fall back to
+    record-at-a-time emulation -- when the per-seed workloads lay out
+    memory differently, when a per-seed value diverges where the shared
+    instruction stream needs one uniform value
+    (:class:`~repro.emu.batch.BatchDivergence`), or when any seed's
+    output fails golden verification (the reference path is
+    authoritative; the differential suite keeps the two in lockstep).
+    """
+    batch_mem = BatchMemory(len(seeds))
+    planes = [batch_mem.plane(i) for i in range(len(seeds))]
+    workloads = [spec.make_workload(plane, seed) for plane, seed in zip(planes, seeds)]
+    if any(plane.allocs != planes[0].allocs for plane in planes[1:]):
+        return None
+    trace = Trace(f"{spec.name}/{version}")
+    machine = make_batch_machine(version, batch_mem, trace)
+    try:
+        returned = spec.versions[version](machine, workloads[0])
+    except BatchDivergence:
+        return None
+    runs = []
+    for i, seed in enumerate(seeds):
+        if spec.returns_scalar:
+            output = _seed_output(returned, i)
+        else:
+            output = spec.read_output(planes[i], workloads[i])
+        runs.append(
+            KernelRun(
+                spec=spec,
+                version=version,
+                trace=trace,
+                output=output,
+                expected=spec.expected(workloads[i], version),
+                workload=workloads[i],
+            )
+        )
+    if not all(run.correct for run in runs):
+        return None
+    return runs
+
+
+def execute_batch(spec: KernelSpec, version: str, seeds) -> list:
+    """Run one kernel version over many seeds, batched when possible.
+
+    The fast path emulates every seed in a single NumPy-vectorised pass
+    over one shared instruction stream: the returned runs all reference
+    the *same* trace object, which is byte-identical to what
+    :func:`execute` would emit for each seed individually (the
+    differential suite asserts this digest equality).  Batches of one,
+    ``REPRO_EMU_REFERENCE=1``, divergent kernels and verification
+    mismatches all fall back to per-seed record-at-a-time execution.
+    """
+    seeds = list(seeds)
+    if len(seeds) >= 2 and batch_enabled():
+        runs = _execute_batched(spec, version, seeds)
+        if runs is not None:
+            return runs
+    return [execute(spec, version, seed) for seed in seeds]

@@ -104,7 +104,7 @@ def motion1_scalar(m, wl: Workload) -> List[int]:
                 s = m.add(s, d)
             p1 = m.add(p1, lx)
             p2 = m.add(p2, lx)
-        results.append(int(s))
+        results.append(m.value(s))
     return results
 
 
@@ -130,7 +130,7 @@ def motion1_mmx(m, wl: Workload) -> List[int]:
             p2 = m.add(p2, lx)
         total = m.movd_to_scalar(acc, "u16", 0)
         total = m.sll(total, 1)
-        results.append(int(total))
+        results.append(m.value(total))
     return results
 
 
@@ -153,7 +153,7 @@ def motion1_vmmx(m, wl: Workload) -> List[int]:
         total = partials[0]
         for extra in partials[1:]:
             total = m.add(total, extra)
-        results.append(int(total))
+        results.append(m.value(total))
     return results
 
 
@@ -206,7 +206,7 @@ def motion2_scalar(m, wl: Workload) -> List[int]:
                 s = m.add(s, m.mul(d, d))
             p1 = m.add(p1, lx)
             p2 = m.add(p2, lx)
-        results.append(int(s))
+        results.append(m.value(s))
     return results
 
 
@@ -233,7 +233,7 @@ def motion2_mmx(m, wl: Workload) -> List[int]:
             p1 = m.add(p1, lx)
             p2 = m.add(p2, lx)
         total = m.hsum_s32(acc)
-        results.append(int(m.movd_to_scalar(total, "s32", 0)))
+        results.append(m.value(m.movd_to_scalar(total, "s32", 0)))
     return results
 
 
@@ -256,7 +256,7 @@ def motion2_vmmx(m, wl: Workload) -> List[int]:
         total = partials[0]
         for extra in partials[1:]:
             total = m.add(total, extra)
-        results.append(int(total))
+        results.append(m.value(total))
     return results
 
 

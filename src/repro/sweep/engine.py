@@ -91,13 +91,27 @@ def set_compute_budget(budget: Optional[int]) -> Optional[int]:
 
 
 def default_jobs() -> int:
-    """Worker count from ``REPRO_JOBS`` (default 1: serial, in-process)."""
+    """Worker count from ``REPRO_JOBS`` (default 1: serial, in-process).
+
+    The variable is validated once, here, so a malformed or non-positive
+    value fails immediately with a message naming ``REPRO_JOBS`` and the
+    offending value instead of surfacing as a bare ``ValueError`` from
+    deep inside pool setup.
+    """
     import os
 
-    try:
-        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
-    except ValueError:
+    raw = os.environ.get("REPRO_JOBS")
+    if raw is None:
         return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_JOBS must be a positive integer, got {raw!r}"
+        ) from None
+    if jobs < 1:
+        raise ValueError(f"REPRO_JOBS must be a positive integer, got {raw!r}")
+    return jobs
 
 
 def simulation_count() -> int:
@@ -245,11 +259,68 @@ def acquire_trace(point: SweepPoint, store: Any = _USE_DEFAULT) -> ColumnarTrace
         cols = run.trace.columns()
         if key is not None:
             save_payload(store, "trace", key, trace_to_payload(cols))
+    _memo_put(memo_key, cols)
+    return cols
+
+
+def _memo_put(memo_key: Tuple[str, str, int], cols: ColumnarTrace) -> None:
+    """Insert one trace into the in-process memo, evicting LRU entries."""
     _TRACE_MEMO[memo_key] = cols
     _TRACE_MEMO.move_to_end(memo_key)
     while len(_TRACE_MEMO) > _TRACE_MEMO_MAXSIZE:
         _TRACE_MEMO.popitem(last=False)
-    return cols
+
+
+def acquire_traces(points: Sequence[SweepPoint], store: Any = _USE_DEFAULT) -> int:
+    """Batch-fill the trace memo and store for many points in one pass.
+
+    Groups the points' distinct (kernel, version, seed) traces by kernel
+    version and emulates each group's missing seeds as one vectorised
+    batch (:func:`repro.kernels.base.execute_batch`), so a cold sweep or
+    campaign shard pays the per-instruction interpretation cost once per
+    kernel version rather than once per seed.  Traces already memoised
+    or stored are skipped, and a group with a single missing seed is
+    left to :func:`acquire_trace` (there is nothing to batch).  Returns
+    the number of traces emulated; the stored records are byte-identical
+    to what per-seed emulation would have written (the differential
+    suite pins the digest equality), so warm sweeps and the jobs-parity
+    guarantee are unaffected.
+    """
+    global _EMU_COUNT
+    if store is _USE_DEFAULT:
+        store = default_store()
+    groups: Dict[Tuple[str, str], Dict[int, SweepPoint]] = {}
+    for point in points:
+        if (point.kernel, point.version, point.seed) in _TRACE_MEMO:
+            continue
+        groups.setdefault((point.kernel, point.version), {})[point.seed] = point
+    filled = 0
+    for (kernel, version), by_seed in sorted(groups.items()):
+        missing = []
+        for seed, point in sorted(by_seed.items()):
+            key = trace_key(point) if store is not None else None
+            if key is not None and key in store:
+                continue
+            missing.append((seed, key))
+        if len(missing) < 2:
+            continue
+        from repro.kernels.base import execute_batch
+        from repro.kernels.registry import KERNELS
+
+        runs = execute_batch(KERNELS[kernel], version, [s for s, _ in missing])
+        for (seed, key), run in zip(missing, runs):
+            if not run.correct:
+                raise AssertionError(
+                    f"kernel {kernel}/{version} failed verification "
+                    "during timing"
+                )
+            _EMU_COUNT += 1
+            cols = run.trace.columns()
+            if key is not None:
+                save_payload(store, "trace", key, trace_to_payload(cols))
+            _memo_put((kernel, version, seed), cols)
+            filled += 1
+    return filled
 
 
 def compute_point(point: SweepPoint, store: Any = _USE_DEFAULT) -> KernelTiming:
@@ -600,6 +671,12 @@ def sweep(
             progress(done, total, point, "sim")
 
     if misses:
+        # Batch-emulate every missing trace up front (one vectorised
+        # pass per kernel version) so neither pooled workers nor the
+        # inline path fall back to record-at-a-time emulation.  Trace
+        # records go through the *default* store here for the same
+        # jobs-parity reason as the inline fallback below.
+        acquire_traces(misses)
         pending = list(zip(misses, miss_keys))
         if jobs > 1:
             for n_done, payloads in _pooled_chunks(misses, jobs):

@@ -12,7 +12,7 @@ import time
 from repro.experiments import fig4_data
 from repro.experiments.report import render_table
 from repro.kernels.registry import FIG4_KERNELS
-from repro.timing.config import ISAS
+from repro.machines import ISAS
 
 
 def test_fig4_scaling_across_ways(benchmark):

@@ -24,6 +24,15 @@ The emulation headline is the *batched* rate: ``execute_batch`` over
 instructions divided by wall time.  The record-at-a-time rate is kept
 alongside as ``reference_emulated_instructions_per_sec`` so the batch
 engine's advantage stays visible in the trajectory.
+
+The re-timing headline is batched the same way:
+``batch_retimed_instructions_per_sec`` is one
+:class:`~repro.timing.batch.BatchCoreModel` pass timing the cached
+ycc/mmx64 trace across all twelve paper configurations, total
+per-point instructions divided by wall time.  The scalar columnar rate
+(``retimed_instructions_per_sec``, the batch fallback path) and the
+record-at-a-time rate (``reference_retimed_instructions_per_sec``)
+ride alongside for the trajectory.
 """
 
 import argparse
@@ -38,11 +47,20 @@ sys.path.insert(
 
 from repro.kernels.base import execute, execute_batch  # noqa: E402
 from repro.kernels.registry import KERNELS  # noqa: E402
-from repro.timing.config import get_config  # noqa: E402
+from repro.machines import get_machine  # noqa: E402
+from repro.timing.batch import BatchCoreModel  # noqa: E402
 from repro.timing.core import CoreModel  # noqa: E402
 
 #: Rates measured by :func:`measure_model_speed` and guarded by the floor.
-RATE_KEYS = ("emulated_instructions_per_sec", "retimed_instructions_per_sec")
+RATE_KEYS = (
+    "emulated_instructions_per_sec",
+    "batch_retimed_instructions_per_sec",
+    "retimed_instructions_per_sec",
+)
+
+#: ``fig4_sweep`` wall-clock ceilings guarded by the floor file (seconds;
+#: the smoke fails when a measured time *exceeds* the ceiling).
+MAX_SECONDS_KEYS = {"fig4_warm_sweep_seconds_max": "warm_trace_seconds"}
 
 #: Seeds per batched-emulation pass (the headline emulation rate).
 BATCH_SEEDS = 16
@@ -76,12 +94,35 @@ def test_batch_emulation_throughput(benchmark):
     assert instructions > 10_000 * BATCH_SEEDS
 
 
+def _paper_stack():
+    """All twelve paper ``(core, mem)`` pairs (the fig. 4 width axis)."""
+    from repro.machines import ISAS, WAYS
+
+    return [
+        (get_machine(isa, way).core, get_machine(isa, way).mem)
+        for isa in ISAS
+        for way in WAYS
+    ]
+
+
+def test_batch_timing_throughput(benchmark):
+    """Per-point slots re-timed per second, batched across the stack."""
+    cols = execute(KERNELS["ycc"], "mmx64", seed=0).trace.columns()
+    specs = _paper_stack()
+
+    def work():
+        return BatchCoreModel(specs).run(cols)
+
+    results = benchmark(work)
+    assert len(results) == len(specs)
+
+
 def test_timing_model_throughput(benchmark):
     """Trace slots re-timed per second (columnar ycc trace, 2-way core)."""
     cols = execute(KERNELS["ycc"], "mmx64", seed=0).trace.columns()
 
     def work():
-        model = CoreModel(get_config("mmx64", 2))
+        model = CoreModel(get_machine("mmx64", 2).core)
         model.hier.warm(cols)
         return model.run(cols).cycles
 
@@ -94,7 +135,7 @@ def test_vector_timing_throughput(benchmark):
     cols = execute(KERNELS["idct"], "vmmx128", seed=0).trace.columns()
 
     def work():
-        model = CoreModel(get_config("vmmx128", 2))
+        model = CoreModel(get_machine("vmmx128", 2).core)
         model.hier.warm(cols)
         return model.run(cols).cycles
 
@@ -142,19 +183,37 @@ def measure_model_speed(budget="ci"):
     cols = trace_holder["trace"].columns()
 
     def retime():
-        model = CoreModel(get_config("mmx64", 2))
+        model = CoreModel(get_machine("mmx64", 2).core)
         model.hier.warm(cols)
         model.run(cols)
 
     retime_rate = _best_rate(retime, n, max(reps, 3))
 
+    specs = _paper_stack()
+
+    def retime_batch():
+        BatchCoreModel(specs).run(cols)
+
+    retime_batch()  # compile/load the kernel outside the timed region
+    batch_retime_rate = _best_rate(retime_batch, n * len(specs), max(reps, 3))
+
+    def retime_reference():
+        model = CoreModel(get_machine("mmx64", 2).core)
+        model.hier.warm(cols)
+        model.run_reference(cols)
+
+    reference_retime_rate = _best_rate(retime_reference, n, reps)
+
     results = {
         "budget": budget,
         "trace_instructions": n,
         "emulation_batch_seeds": BATCH_SEEDS,
+        "timing_stack_points": len(specs),
         "emulated_instructions_per_sec": round(emu_rate),
         "reference_emulated_instructions_per_sec": round(reference_rate),
+        "batch_retimed_instructions_per_sec": round(batch_retime_rate),
         "retimed_instructions_per_sec": round(retime_rate),
+        "reference_retimed_instructions_per_sec": round(reference_retime_rate),
     }
     if budget == "full":
         results["fig4_sweep"] = _measure_fig4_sweep()
@@ -178,7 +237,7 @@ def _measure_fig4_sweep():
     from repro.kernels.registry import FIG4_KERNELS
     from repro.sweep import clear_memory_caches, emulation_count, sweep
     from repro.sweep.points import grid
-    from repro.timing.config import ISAS, WAYS
+    from repro.machines import ISAS, WAYS
 
     store_root = tempfile.mkdtemp(prefix="repro-bench-store-")
     previous = os.environ.get("REPRO_STORE")
@@ -237,6 +296,16 @@ def check_floor(results, floor_path):
         status = "ok" if rate >= floor else "REGRESSION"
         print(f"{key}: {rate:,.0f}/s (floor {floor:,.0f}) {status}")
         if rate < floor:
+            ok = False
+    sweep = results.get("fig4_sweep", {})
+    for key, field in MAX_SECONDS_KEYS.items():
+        ceiling = floors.get(key)
+        seconds = sweep.get(field)
+        if ceiling is None or seconds is None:
+            continue
+        status = "ok" if seconds <= ceiling else "REGRESSION"
+        print(f"{key}: {seconds:.3f}s (ceiling {ceiling:.3f}s) {status}")
+        if seconds > ceiling:
             ok = False
     return ok
 

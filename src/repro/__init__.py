@@ -36,9 +36,13 @@ def __getattr__(name):
 
         return run_kernel
     if name == "CONFIGS":
-        from repro.timing.config import CONFIGS
+        from repro.machines import ISAS, WAYS, get_machine
 
-        return CONFIGS
+        return {
+            (isa, way): get_machine(isa, way).core
+            for isa in ISAS
+            for way in WAYS
+        }
     if name in ("MachineSpec", "SimdGeometry", "get_machine",
                 "register_machine", "registered_machines"):
         import repro.machines as machines

@@ -135,7 +135,7 @@ def _cmd_sweep(args) -> int:
         shard_store_root,
         sweep,
     )
-    from repro.timing.config import ISAS, WAYS
+    from repro.machines import ISAS, WAYS
 
     shard = None
     if args.shard is not None:

@@ -26,7 +26,7 @@ from repro.sweep import (
     fig7_points,
     sweep,
 )
-from repro.timing.config import ISAS, WAYS
+from repro.machines import ISAS, WAYS
 from repro.timing.simulator import simulate_kernel
 
 #: Speed-ups the paper quotes in the Fig. 4 discussion (§IV-A).

@@ -18,7 +18,7 @@ from typing import Dict, List
 
 from repro.hw.regfile import DEFAULT_PITCH, table1_rows
 from repro.kernels.registry import KERNELS
-from repro.timing.config import CONFIGS, ISAS, MEM_CONFIGS, WAYS
+from repro.machines import ISAS, WAYS, get_machine
 from repro.experiments.report import render_table
 
 
@@ -76,7 +76,7 @@ def table3_data() -> Dict[str, List[int]]:
     """Modeled processor parameters per extension family."""
     out: Dict[str, List] = {}
     for isa in ISAS:
-        configs = [CONFIGS[(isa, way)] for way in WAYS]
+        configs = [get_machine(isa, way).core for way in WAYS]
         out[isa] = {
             "physical_simd_regs": [c.phys_simd_regs for c in configs],
             "fetch_decode_grad": [c.fetch_width for c in configs],
@@ -114,7 +114,7 @@ def table4_data() -> List[dict]:
     """Memory hierarchy configuration rows."""
     rows = []
     for level in ("l1", "l2"):
-        cfgs = [getattr(MEM_CONFIGS[way], level) for way in WAYS]
+        cfgs = [getattr(get_machine("mmx64", way).mem, level) for way in WAYS]
         base = cfgs[0]
         rows.append(
             {
@@ -132,14 +132,14 @@ def table4_data() -> List[dict]:
             "level": "Main memory",
             "size_kb": "-", "ports": "-", "port_bytes": "-",
             "assoc": "-", "line": "-",
-            "latency": MEM_CONFIGS[2].main_latency,
+            "latency": get_machine("mmx64", 2).mem.main_latency,
         }
     )
     return rows
 
 
 def table4_render() -> str:
-    mmx_ports = "/".join(str(CONFIGS[("mmx64", w)].mem_ports) for w in WAYS)
+    mmx_ports = "/".join(str(get_machine("mmx64", w).core.mem_ports) for w in WAYS)
     rows = [
         (
             r["level"], r["size_kb"], r["ports"], r["port_bytes"],
@@ -147,7 +147,7 @@ def table4_render() -> str:
         )
         for r in table4_data()
     ]
-    vmmx_ports = "/".join(str(CONFIGS[("vmmx64", w)].mem_ports) for w in WAYS)
+    vmmx_ports = "/".join(str(get_machine("vmmx64", w).core.mem_ports) for w in WAYS)
     table = render_table(
         ("level", "size KB", "ports", "port bytes", "assoc", "line", "latency"),
         rows,

@@ -20,8 +20,10 @@ fingerprint manifest.  See ``docs/machines.md``.
 
 from repro.machines.registry import (
     DuplicateMachineError,
+    ISAS,
     MachineFamily,
     UnknownMachineError,
+    WAYS,
     find_geometry,
     get_family,
     get_machine,
@@ -54,6 +56,7 @@ __all__ = [
     "CoreConfig",
     "CoreScaling",
     "DuplicateMachineError",
+    "ISAS",
     "MachineFamily",
     "MachineSpec",
     "MemHierConfig",
@@ -61,6 +64,7 @@ __all__ = [
     "ScalingCurve",
     "SimdGeometry",
     "UnknownMachineError",
+    "WAYS",
     "build_core",
     "build_mem",
     "find_geometry",

@@ -8,11 +8,11 @@ resource-scaling curves and the widths it is swept at by default.
 a table, decide what a 16-way machine looks like.
 
 The twelve paper machines (Tables III/IV) are registered here from the
-same curves the legacy ``repro.timing.config`` tables were built from,
-so ``get_config(isa, way) == get_machine(isa, way).core`` field for
-field -- the deprecation-shim equivalence the tests pin.  Two
-beyond-the-paper machines (``mmx256``, ``vmmx256``) ship registered at
-2/4/8/16-way; ``docs/machines.md`` walks through registering more.
+same curves the legacy hardcoded config tables were built from --
+``get_machine(isa, way).core`` is field-for-field the old table entry,
+an equivalence the Table III/IV tests pin.  Two beyond-the-paper
+machines (``mmx256``, ``vmmx256``) ship registered at 2/4/8/16-way;
+``docs/machines.md`` walks through registering more.
 """
 
 from __future__ import annotations
@@ -34,7 +34,7 @@ class UnknownMachineError(KeyError):
     """Lookup of a machine name that is not registered.
 
     Subclasses :class:`KeyError` so legacy ``except KeyError`` call
-    sites around ``get_config`` keep working.
+    sites around the old table lookups keep working.
     """
 
     def __init__(self, name: str, available: Iterable[str]) -> None:
@@ -345,9 +345,19 @@ def _register_builtin() -> None:
 
 _register_builtin()
 
+#: The original study's four ISA extensions (presentation order) and the
+#: Table III width columns.  Grid definitions, campaign defaults and the
+#: figure/table builders iterate these; the registry itself serves any
+#: registered name and width.  Derived from the ``paper`` families so
+#: the registry stays the sole source of machine identity.
+ISAS: Tuple[str, ...] = tuple(f.name for f in _FAMILIES.values() if f.paper)
+WAYS: Tuple[int, ...] = get_family(ISAS[0]).ways
+
 
 __all__ = [
     "DuplicateMachineError",
+    "ISAS",
+    "WAYS",
     "MachineFamily",
     "MMX_CORE_SCALING",
     "PAPER_MEM_SCALING",

@@ -1,16 +1,16 @@
 """Declarative machine descriptions: geometry, core, memory, spec.
 
 This module is the authoritative home of every dataclass that describes
-a modeled machine.  Historically these lived in :mod:`repro.timing.config`
-as twelve hardcoded ``(isa, way)`` table entries; they are now composed
-into a single frozen, serializable :class:`MachineSpec` so new machines
-(wider rows, more lanes, longer vectors, wider ways) are *data* handled
-by the registry (:mod:`repro.machines.registry`) instead of new code.
+a modeled machine.  Historically these lived in a timing-layer config
+module as twelve hardcoded ``(isa, way)`` table entries; they are now
+composed into a single frozen, serializable :class:`MachineSpec` so new
+machines (wider rows, more lanes, longer vectors, wider ways) are *data*
+handled by the registry (:mod:`repro.machines.registry`) instead of new
+code.
 
 Layering: this module depends on nothing else in the package (the
-registry and scaling modules build on it), and
-:mod:`repro.timing.config` re-exports the config dataclasses from here
-as a deprecation shim.
+registry and scaling modules build on it, and the timing layer imports
+its config dataclasses from here).
 """
 
 from __future__ import annotations

@@ -40,6 +40,7 @@ from repro.sweep.engine import (
     checkpoint_key,
     clear_trace_memo,
     compute_point,
+    compute_points,
     default_jobs,
     emulation_count,
     keys_progress,
@@ -125,6 +126,7 @@ __all__ = [
     "clear_trace_memo",
     "code_version",
     "compute_point",
+    "compute_points",
     "config_fingerprint",
     "dedupe",
     "default_jobs",

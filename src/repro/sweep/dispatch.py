@@ -165,7 +165,7 @@ class CampaignManifest:
             # identity (and the worker command lines) never depend on
             # what the defaults happen to be later.
             from repro.kernels.registry import KERNELS
-            from repro.timing.config import ISAS, WAYS
+            from repro.machines import ISAS, WAYS
 
             if not self.kernels:
                 object.__setattr__(self, "kernels", tuple(KERNELS))

@@ -36,8 +36,12 @@ from repro.sweep.store import (
     trace_to_payload,
 )
 from repro.machines import get_machine
-from repro.timing.config import CoreConfig, MemHierConfig
-from repro.timing.simulator import KernelTiming, simulate_trace
+from repro.machines.spec import CoreConfig, MemHierConfig
+from repro.timing.simulator import (
+    KernelTiming,
+    simulate_trace,
+    simulate_trace_stack,
+)
 
 #: Sentinel distinguishing "use the default store" from "no store".
 _USE_DEFAULT = object()
@@ -358,6 +362,57 @@ def compute_point(point: SweepPoint, store: Any = _USE_DEFAULT) -> KernelTiming:
     )
 
 
+def compute_points(
+    points: Sequence[SweepPoint], store: Any = _USE_DEFAULT
+) -> List[KernelTiming]:
+    """Time many points, batching every shared-trace group into one pass.
+
+    The batched counterpart of calling :func:`compute_point` per point,
+    with identical results (the differential suite pins value-equality):
+    points are grouped by trace identity -- the same (kernel, version,
+    seed) grouping the sharding layer uses -- and each group's stack of
+    resolved configurations is timed against its one columnar trace
+    through :class:`~repro.timing.batch.BatchCoreModel`, so a warm
+    fig. 4 sweep walks a handful of batched passes instead of 132
+    sequential constraint loops.  Stacks the batch path cannot time
+    exactly (env gates, no compiled kernel) fall back to the scalar
+    model per point inside :func:`~repro.timing.simulator.simulate_trace_stack`.
+
+    A bounded compute budget keeps the scalar per-point path so
+    :class:`SweepInterrupted` fires at exactly the budgeted point.
+    """
+    from repro.kernels.registry import KERNELS
+
+    global _SIM_COUNT
+    if _COMPUTE_BUDGET is not None:
+        return [compute_point(p, store) for p in points]
+
+    groups: Dict[Tuple[str, str, int], List[int]] = {}
+    for idx, point in enumerate(points):
+        groups.setdefault(
+            (point.kernel, point.version, point.seed), []
+        ).append(idx)
+    timings: List[Optional[KernelTiming]] = [None] * len(points)
+    for indices in groups.values():
+        group = [points[i] for i in indices]
+        spec = KERNELS[group[0].kernel]
+        cols = acquire_trace(group[0], store)
+        configs = [resolve_configs(p) for p in group]
+        results = simulate_trace_stack(cols, configs)
+        _SIM_COUNT += len(group)
+        for i, point, result in zip(indices, group, results):
+            timings[i] = KernelTiming(
+                kernel=point.kernel,
+                version=point.version,
+                way=point.way,
+                result=result,
+                batch=spec.batch,
+                seed=point.seed,
+                machine=point.machine,
+            )
+    return timings  # type: ignore[return-value]
+
+
 def _normalise(timing: KernelTiming) -> KernelTiming:
     """Round-trip through the record form.
 
@@ -396,7 +451,7 @@ def _worker_chunk(points: Sequence[SweepPoint]) -> Dict[str, Any]:
     keep :func:`emulation_count` truthful for pooled sweeps.
     """
     emulations_before = _EMU_COUNT
-    payloads = [kernel_timing_to_dict(compute_point(p)) for p in points]
+    payloads = [kernel_timing_to_dict(t) for t in compute_points(points)]
     return {"payloads": payloads, "emulations": _EMU_COUNT - emulations_before}
 
 
@@ -694,10 +749,27 @@ def sweep(
         # requires serial execution to match them.  Single-point
         # callers that pass an explicit store get trace forwarding via
         # run_point.
-        for point, key in pending:
-            finish(point, key, kernel_timing_to_dict(compute_point(point)))
-            if checkpoint is not None:
-                checkpoint.flush()
+        if _COMPUTE_BUDGET is None:
+            # Whole shared-trace groups go through one batched timing
+            # pass each; results land (and checkpoint) per point.
+            grouped: "OrderedDict[Tuple[str, str, int], List[Tuple[SweepPoint, Optional[str]]]]" = OrderedDict()
+            for point, key in pending:
+                grouped.setdefault(
+                    (point.kernel, point.version, point.seed), []
+                ).append((point, key))
+            for group in grouped.values():
+                timings = compute_points([p for p, _ in group])
+                for (point, key), timing in zip(group, timings):
+                    finish(point, key, kernel_timing_to_dict(timing))
+                    if checkpoint is not None:
+                        checkpoint.flush()
+        else:
+            # A bounded compute budget persists point by point so
+            # SweepInterrupted leaves exactly the budgeted prefix.
+            for point, key in pending:
+                finish(point, key, kernel_timing_to_dict(compute_point(point)))
+                if checkpoint is not None:
+                    checkpoint.flush()
 
     if checkpoint is not None:
         checkpoint.flush()

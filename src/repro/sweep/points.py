@@ -296,7 +296,7 @@ def parse_shard_spec(spec: str) -> Tuple[int, int]:
 def fig4_points(way: int = 2, seed: int = 0) -> List[SweepPoint]:
     """Every kernel timing Fig. 4 reads (including the MMX64 baseline)."""
     from repro.kernels.registry import FIG4_KERNELS
-    from repro.timing.config import ISAS
+    from repro.machines import ISAS
 
     kernels = FIG4_KERNELS + ("fdct",)
     points = grid(kernels, ("mmx64",), (2,), (seed,))
@@ -307,7 +307,7 @@ def fig4_points(way: int = 2, seed: int = 0) -> List[SweepPoint]:
 def app_points(apps: Sequence[str], ways: Sequence[int], seed: int = 0) -> List[SweepPoint]:
     """Kernel timings needed to compose the given applications."""
     from repro.kernels.registry import APP_KERNELS
-    from repro.timing.config import ISAS
+    from repro.machines import ISAS
 
     kernels: List[str] = []
     for app in apps:
@@ -321,13 +321,13 @@ def app_points(apps: Sequence[str], ways: Sequence[int], seed: int = 0) -> List[
 
 def fig5_points(seed: int = 0) -> List[SweepPoint]:
     from repro.apps.runner import APP_NAMES
-    from repro.timing.config import WAYS
+    from repro.machines import WAYS
 
     return app_points(APP_NAMES, WAYS, seed=seed)
 
 
 def fig6_points(app: str = "jpegdec", seed: int = 0) -> List[SweepPoint]:
-    from repro.timing.config import WAYS
+    from repro.machines import WAYS
 
     return app_points((app,), WAYS, seed=seed)
 
@@ -341,7 +341,7 @@ def fig7_points(seed: int = 0) -> List[SweepPoint]:
 def full_points(seed: int = 0) -> List[SweepPoint]:
     """All kernels on all twelve modeled machines."""
     from repro.kernels.registry import KERNELS
-    from repro.timing.config import ISAS, WAYS
+    from repro.machines import ISAS, WAYS
 
     return grid(tuple(KERNELS), ISAS, WAYS, (seed,))
 

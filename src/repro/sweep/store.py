@@ -48,7 +48,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.isa.trace import ColumnarTrace
 from repro.machines.spec import canonical_json, stable_hash
-from repro.timing.config import CoreConfig, MemHierConfig
+from repro.machines.spec import CoreConfig, MemHierConfig
 from repro.timing.core import SimResult
 from repro.timing.simulator import KernelTiming
 

@@ -1,30 +1,26 @@
 """Trace-driven timing model of the simulated processors.
 
-Machine descriptions live in :mod:`repro.machines`; the legacy
-``CONFIGS``/``get_config`` surface re-exported here is a deprecation
-shim over that registry (see :mod:`repro.timing.config`).
+Machine descriptions live in the :mod:`repro.machines` registry
+(``get_machine(name, way)`` resolves any registered family and width);
+this package times :class:`~repro.isa.trace.ColumnarTrace` streams on
+them -- one configuration at a time (:class:`CoreModel`) or a whole
+stack per pass (:class:`~repro.timing.batch.BatchCoreModel`).
 """
 
 from repro.machines import MachineSpec, SimdGeometry, get_machine
+from repro.machines.spec import CoreConfig, MemHierConfig
+from repro.timing.batch import BatchCoreModel, BatchTimingDivergence
 from repro.timing.caches import BimodalPredictor, Cache, MemoryHierarchy
-from repro.timing.config import (
-    CONFIGS,
-    ISAS,
-    MEM_CONFIGS,
-    WAYS,
-    CoreConfig,
-    MemHierConfig,
-    get_config,
-    get_mem_config,
-    with_overrides,
-)
 from repro.timing.core import CoreModel, SimResult
-from repro.timing.simulator import simulate_kernel, simulate_trace
+from repro.timing.simulator import (
+    simulate_kernel,
+    simulate_trace,
+    simulate_trace_stack,
+)
 
 __all__ = [
-    "BimodalPredictor", "CONFIGS", "Cache", "CoreConfig", "CoreModel",
-    "ISAS", "MachineSpec", "MEM_CONFIGS", "MemHierConfig",
-    "MemoryHierarchy", "SimdGeometry", "SimResult", "WAYS", "get_config",
-    "get_machine", "get_mem_config", "simulate_kernel", "simulate_trace",
-    "with_overrides",
+    "BatchCoreModel", "BatchTimingDivergence", "BimodalPredictor", "Cache",
+    "CoreConfig", "CoreModel", "MachineSpec", "MemHierConfig",
+    "MemoryHierarchy", "SimdGeometry", "SimResult", "get_machine",
+    "simulate_kernel", "simulate_trace", "simulate_trace_stack",
 ]

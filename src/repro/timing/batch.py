@@ -1,0 +1,388 @@
+"""Batch re-timing: one trace against a stack of configurations per pass.
+
+The sweep workload is exactly the paper's methodology: one dynamic trace
+per (kernel, version, seed), re-timed across many machine widths and
+resource ablations.  The scalar :class:`~repro.timing.core.CoreModel`
+walks its sequential constraint loop once per configuration -- a warm
+fig. 4 sweep is 132 Python-interpreter walks over the *same* cached
+:class:`~repro.isa.trace.ColumnarTrace`.
+
+:class:`BatchCoreModel` times a whole *stack* of P configurations
+sharing one trace in a single pass, mirroring :mod:`repro.emu.batch`'s
+seed axis on the timing side:
+
+* every pure per-instruction derivation is computed once per stack (the
+  shared pre-pass helpers in :mod:`repro.timing.core`: branch-predictor
+  outcomes and cache hit/miss resolution are configuration-independent
+  within a stack that shares cache geometry, and the per-point SIMD and
+  port occupancies are NumPy expressions over the columns, widened by a
+  leading point axis -- SoA ``(P, n)`` arrays);
+* the genuinely order-dependent scoreboard walk (dependences, issue
+  slots, FU pools, ports, ROB, commit) runs in a small C kernel
+  (``kernel.c``, an exact transcription of the scalar loop) compiled
+  on first use with the system C compiler and driven through
+  :mod:`ctypes`; the per-point scoreboard state lives in flat arrays
+  reset between points, so the Python interpreter cost of the loop is
+  paid zero times instead of P times.
+
+Stacks whose configurations disagree on cache-state geometry are split
+into sub-stacks internally (masked/pivoted updates would change results,
+not just cost, so sharing is only ever exact).  Anything the batch
+cannot time identically to the scalar path -- the compiled kernel being
+unavailable, or an SSA id space too sparse for the flat scoreboard --
+raises :class:`BatchTimingDivergence` and the caller falls back to the
+scalar :class:`~repro.timing.core.CoreModel` per point.  Setting
+``REPRO_TIMING_REFERENCE=1`` keeps forcing every simulation through the
+record-at-a-time reference (the batch refuses to run at all), and
+``REPRO_TIMING_NO_KERNEL=1`` disables just the compiled kernel -- the
+differential-testing escape hatches.  The differential suite
+(``tests/test_batch_timing.py``) pins value-identical
+:class:`~repro.timing.core.SimResult`\\ s against the scalar path across
+random configuration stacks.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.isa.trace import as_columns
+from repro.machines.spec import CoreConfig, MemHierConfig
+from repro.timing.caches import BimodalPredictor, MemoryHierarchy
+from repro.timing.core import (
+    REFERENCE_ENV,
+    SimResult,
+    _INT_CODE,
+    _MEM_CODE,
+    _SIMD_CODE,
+    branch_outcome_mask,
+    category_tallies,
+    simd_occupancies,
+    vector_access_mask,
+)
+
+#: Disables the compiled constraint-loop kernel (batch timing then
+#: diverges and callers fall back to the scalar model) without touching
+#: the wider ``REPRO_TIMING_REFERENCE`` switch.
+KERNEL_ENV = "REPRO_TIMING_NO_KERNEL"
+
+#: Overrides the directory the compiled kernel is cached in.
+CACHE_ENV = "REPRO_TIMING_KERNEL_CACHE"
+
+_KERNEL_SOURCE = Path(__file__).with_name("kernel.c")
+
+#: One configuration in a stack: the core and its memory hierarchy.
+ConfigPair = Tuple[CoreConfig, MemHierConfig]
+
+
+class BatchTimingDivergence(Exception):
+    """The stack cannot be batch-timed identically to the scalar path.
+
+    Raised when batch timing is disabled (``REPRO_TIMING_REFERENCE=1``
+    forces the record-at-a-time reference; ``REPRO_TIMING_NO_KERNEL=1``
+    disables the compiled kernel), when no C compiler / loadable kernel
+    is available, or when a trace's SSA register-id space is too sparse
+    for the kernel's flat scoreboard.  The caller falls back to timing
+    each point through the scalar :class:`~repro.timing.core.CoreModel`.
+    """
+
+
+def batch_enabled() -> bool:
+    """Whether batched re-timing may be used (no env gate is set)."""
+    return (
+        os.environ.get(REFERENCE_ENV, "") != "1"
+        and os.environ.get(KERNEL_ENV, "") != "1"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Compiled kernel: build on first use, cache by source digest.
+# ---------------------------------------------------------------------------
+
+_I64 = np.ctypeslib.ndpointer(np.int64, flags="C_CONTIGUOUS")
+_U8 = np.ctypeslib.ndpointer(np.uint8, flags="C_CONTIGUOUS")
+
+_lib: Optional[ctypes.CDLL] = None
+_lib_error: Optional[BaseException] = None
+
+
+def _cache_dir() -> Path:
+    env = os.environ.get(CACHE_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "timing-kernel"
+
+
+def _compile_and_load() -> ctypes.CDLL:
+    source = _KERNEL_SOURCE.read_bytes()
+    digest = hashlib.sha256(source).hexdigest()[:16]
+    so_path = _cache_dir() / f"kernel-{digest}.so"
+    if not so_path.exists():
+        compiler = shutil.which("gcc") or shutil.which("cc")
+        if compiler is None:
+            raise RuntimeError("no C compiler (gcc/cc) on PATH")
+        so_path.parent.mkdir(parents=True, exist_ok=True)
+        # Compile to a private temp file, then atomically publish: sweep
+        # workers racing to build the same kernel each install a
+        # complete artifact.
+        fd, tmp = tempfile.mkstemp(dir=so_path.parent, suffix=".so")
+        os.close(fd)
+        try:
+            subprocess.run(
+                [compiler, "-O2", "-shared", "-fPIC",
+                 "-o", tmp, str(_KERNEL_SOURCE)],
+                check=True,
+                capture_output=True,
+            )
+            os.replace(tmp, so_path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+    lib = ctypes.CDLL(str(so_path))
+    lib.run_stack.restype = ctypes.c_int64
+    lib.run_stack.argtypes = [
+        ctypes.c_int64,                       # n
+        _U8, _U8, _U8,                        # fu, use_vec, mispredict
+        _I64,                                 # lat
+        _I64, _I64, _I64, _I64,               # src_off/src_ids/dst_off/dst_ids
+        ctypes.c_int64, ctypes.c_int64,       # n_regs, P
+        _I64, _I64, _I64, _I64,               # params, occ, mem_lat, mem_occ
+        ctypes.c_int64,                       # cap
+        ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,  # fu codes
+        _I64,                                 # commits out
+    ]
+    return lib
+
+
+def load_kernel() -> Optional[ctypes.CDLL]:
+    """The compiled constraint-loop kernel, or ``None`` if unbuildable.
+
+    The first failure is remembered: a host without a compiler pays the
+    probe once per process, not once per stack.
+    """
+    global _lib, _lib_error
+    if _lib is None and _lib_error is None:
+        try:
+            _lib = _compile_and_load()
+        except BaseException as exc:  # noqa: BLE001 -- any failure => fallback
+            _lib_error = exc
+    return _lib
+
+
+# ---------------------------------------------------------------------------
+# The batch model.
+# ---------------------------------------------------------------------------
+
+def _shared_state_key(core: CoreConfig, mem: MemHierConfig):
+    """What must agree for two points to share cache/branch pre-passes.
+
+    Hit/miss resolution (hence access latencies and cache statistics)
+    depends on the tag geometry, the level latencies and which accesses
+    take the vector path; port *occupancies* are per-point NumPy
+    expressions and may differ freely within a sub-stack.
+    """
+    return (
+        core.vector_memory,
+        mem.l1.size, mem.l1.line, mem.l1.assoc, mem.l1.latency,
+        mem.l2.size, mem.l2.line, mem.l2.assoc, mem.l2.latency,
+        mem.main_latency,
+    )
+
+
+class BatchCoreModel:
+    """Times one trace against a stack of configurations in one pass.
+
+    ``specs`` is a sequence of ``(CoreConfig, MemHierConfig)`` pairs --
+    the same pair the scalar :class:`~repro.timing.core.CoreModel` takes
+    -- typically the resolved configurations of every warm sweep point
+    sharing a trace key.  :meth:`run` returns one
+    :class:`~repro.timing.core.SimResult` per pair, in order,
+    value-identical to timing each pair through a fresh scalar model.
+    """
+
+    def __init__(self, specs: Sequence[ConfigPair]) -> None:
+        self.specs = list(specs)
+
+    def run(self, trace, warm: bool = True) -> List[SimResult]:
+        """Time ``trace`` on every configuration of the stack.
+
+        Raises :class:`BatchTimingDivergence` when the batch path may
+        not (env gates) or cannot (kernel unavailable, sparse SSA ids)
+        reproduce the scalar results exactly.
+        """
+        if os.environ.get(REFERENCE_ENV, "") == "1":
+            raise BatchTimingDivergence(
+                f"{REFERENCE_ENV}=1 forces the record-at-a-time reference"
+            )
+        if os.environ.get(KERNEL_ENV, "") == "1":
+            raise BatchTimingDivergence(f"{KERNEL_ENV}=1 disables the kernel")
+        lib = load_kernel()
+        if lib is None:
+            raise BatchTimingDivergence(f"timing kernel unavailable: {_lib_error}")
+        if not self.specs:
+            return []
+
+        cols = as_columns(trace)
+        # One sub-stack per cache-state signature: sharing the memory
+        # and branch pre-passes is only sound where it is exact.
+        groups: dict = {}
+        for idx, (core, mem) in enumerate(self.specs):
+            groups.setdefault(_shared_state_key(core, mem), []).append(idx)
+        results: List[Optional[SimResult]] = [None] * len(self.specs)
+        for indices in groups.values():
+            subspecs = [self.specs[i] for i in indices]
+            for i, result in zip(indices, self._run_stack(lib, cols, subspecs, warm)):
+                results[i] = result
+        return results  # type: ignore[return-value]
+
+    # -- one cache-compatible sub-stack ---------------------------------
+
+    def _run_stack(
+        self, lib, cols, specs: Sequence[ConfigPair], warm: bool
+    ) -> List[SimResult]:
+        n = len(cols)
+        core0, mem0 = specs[0]
+
+        fu8 = np.ascontiguousarray(cols.fu, dtype=np.uint8)
+        lat = np.ascontiguousarray(cols.latency, dtype=np.int64)
+        src_off = np.ascontiguousarray(cols.src_off, dtype=np.int64)
+        src_ids = np.ascontiguousarray(cols.src_ids, dtype=np.int64)
+        dst_off = np.ascontiguousarray(cols.dst_off, dtype=np.int64)
+        dst_ids = np.ascontiguousarray(cols.dst_ids, dtype=np.int64)
+        n_regs = 0
+        if len(src_ids):
+            n_regs = int(src_ids.max()) + 1
+        if len(dst_ids):
+            n_regs = max(n_regs, int(dst_ids.max()) + 1)
+        # The kernel scoreboards register readiness in a flat array; the
+        # trace IR's SSA ids are dense, so this only trips on hand-built
+        # traces with huge sparse ids -- scalar fallback handles those.
+        if n_regs > 4 * (len(src_ids) + len(dst_ids)) + 1024:
+            raise BatchTimingDivergence(
+                f"SSA register ids too sparse for the flat scoreboard "
+                f"({n_regs} ids for {len(dst_ids)} writes)"
+            )
+
+        # --- shared pre-passes (configuration-independent in-stack) ----
+        bpred = BimodalPredictor()
+        mispredict = branch_outcome_mask(cols, bpred)
+        mis8 = np.frombuffer(bytes(mispredict), dtype=np.uint8)
+
+        use_vec = vector_access_mask(cols, core0.vector_memory)
+        use_vec8 = np.ascontiguousarray(use_vec, dtype=np.uint8)
+        is_memfu = cols.fu == _MEM_CODE
+
+        hier = MemoryHierarchy(mem0)
+        if warm:
+            hier.warm(cols)
+        mem_lat_l = [0] * n
+        mem_occ_l = [0] * n
+        hier.resolve_accesses(
+            np.nonzero(is_memfu)[0].tolist(),
+            use_vec.tolist(),
+            cols.addr.tolist(),
+            cols.row_bytes.tolist(),
+            cols.rows.tolist(),
+            cols.stride.tolist(),
+            mem_lat_l,
+            mem_occ_l,
+        )
+        mem_lat = np.asarray(mem_lat_l, dtype=np.int64)
+        hier_stats = hier.stats()
+
+        # --- per-point derivations, widened by the point axis ----------
+        P = len(specs)
+        rows64 = cols.rows.astype(np.int64)
+        rowb64 = cols.row_bytes.astype(np.int64)
+        stride64 = cols.stride.astype(np.int64)
+        scalar_bytes = np.maximum(rowb64, 1)
+        unit_stride = stride64 == rowb64
+        elements = rows64 * np.maximum(1, -(-rowb64 // 8))
+        occ = np.empty((P, n), dtype=np.int64)
+        mem_occ = np.empty((P, n), dtype=np.int64)
+        params = np.empty((P, 11), dtype=np.int64)
+        for p, (core, mem) in enumerate(specs):
+            occ[p] = simd_occupancies(cols, core)
+            # Port occupancies, mirroring resolve_accesses cycle for
+            # cycle: scalar/MMX accesses move l1.port_bytes per cycle;
+            # unit-stride vector accesses move l2.port_bytes per cycle;
+            # other strides move strided_rows_per_cycle element rows.
+            occ_scalar = np.maximum(1, -(-scalar_bytes // mem.l1.port_bytes))
+            if use_vec.any():
+                occ_unit = np.maximum(1, -(-(rows64 * rowb64) // mem.l2.port_bytes))
+                occ_str = np.maximum(
+                    1, (elements / mem.strided_rows_per_cycle).astype(np.int64)
+                )
+                mem_occ[p] = np.where(
+                    use_vec, np.where(unit_stride, occ_unit, occ_str), occ_scalar
+                )
+            else:
+                mem_occ[p] = occ_scalar
+            params[p] = (
+                core.fetch_width, core.rob_size, core.commit_width,
+                core.branch_penalty, core.int_fus, core.fp_fus,
+                core.simd_issue, core.simd_fu_groups, core.mem_ports,
+                mem.l2.ports, core.simd_inflight,
+            )
+
+        # --- the constraint loops, in C --------------------------------
+        commits = np.zeros((P, max(n, 1)), dtype=np.int64)
+        if n:
+            cap = 4 * n + 2048
+            while True:
+                rc = lib.run_stack(
+                    n, fu8, use_vec8, mis8, lat, src_off, src_ids, dst_off,
+                    dst_ids, n_regs, P, params, occ, mem_lat, mem_occ, cap,
+                    _MEM_CODE, _SIMD_CODE, _INT_CODE, commits,
+                )
+                if rc == 0:
+                    break
+                if rc == -1:
+                    # An issue cycle outran the scoreboard window (long
+                    # chains of main-memory misses); widen and re-run,
+                    # mirroring the scalar path's spill dictionaries.
+                    cap *= 2
+                    continue
+                raise MemoryError("timing kernel allocation failed")
+
+        # --- per-point results -----------------------------------------
+        results = []
+        for p, (core, _mem) in enumerate(specs):
+            point_commits = commits[p, :n]
+            cat_instrs, cat_cycles = category_tallies(cols.category, point_commits)
+            results.append(
+                SimResult(
+                    config_name=core.name,
+                    cycles=int(point_commits[-1]) if n else 0,
+                    instructions=n,
+                    cat_instructions=cat_instrs,
+                    cat_cycles=cat_cycles,
+                    branch_lookups=bpred.lookups,
+                    branch_mispredicts=bpred.mispredicts,
+                    l1_accesses=hier_stats["l1"].accesses,
+                    l1_misses=hier_stats["l1"].misses,
+                    l2_accesses=hier_stats["l2"].accesses,
+                    l2_misses=hier_stats["l2"].misses,
+                )
+            )
+        return results
+
+
+__all__ = [
+    "CACHE_ENV",
+    "KERNEL_ENV",
+    "BatchCoreModel",
+    "BatchTimingDivergence",
+    "batch_enabled",
+    "load_kernel",
+]

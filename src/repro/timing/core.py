@@ -48,8 +48,8 @@ import numpy as np
 
 from repro.isa.opcodes import Category, FUClass
 from repro.isa.trace import CAT_CODE, CATEGORIES, FU_CODE, as_columns
+from repro.machines.spec import CoreConfig, MemHierConfig
 from repro.timing.caches import BimodalPredictor, MemoryHierarchy
-from repro.timing.config import CoreConfig, MemHierConfig
 
 #: Environment variable gating the retained record-at-a-time reference
 #: implementation (``1`` routes every ``run`` call through it).
@@ -59,6 +59,73 @@ _MEM_CODE = FU_CODE[FUClass.MEM]
 _SIMD_CODE = FU_CODE[FUClass.SIMD]
 _INT_CODE = FU_CODE[FUClass.INT]
 _VMEM_CODE = CAT_CODE[Category.VMEM]
+
+
+# ---------------------------------------------------------------------------
+# Shared pre-pass: pure per-instruction derivations over the columns.
+#
+# Everything here is a function of the trace and the configuration alone
+# -- independent of the issue cycles the constraint loop later assigns --
+# so the scalar path and the batch path (:mod:`repro.timing.batch`)
+# compute them through the same code.
+# ---------------------------------------------------------------------------
+
+
+def simd_occupancies(cols, config: CoreConfig) -> np.ndarray:
+    """Per-instruction SIMD functional-unit occupancy, vectorised.
+
+    ``ceil(rows / lanes)`` lane-limited cycles plus the vector start-up
+    charge for multi-row instructions (the vector-lane model of Fig. 2).
+    """
+    rows64 = cols.rows.astype(np.int64)
+    occ = np.maximum(1, -(-rows64 // config.lanes))
+    return occ + np.where(rows64 > 1, config.vector_startup, 0)
+
+
+def vector_access_mask(cols, vector_memory: bool) -> np.ndarray:
+    """Boolean mask of accesses served by the L2 vector-cache port."""
+    if vector_memory:
+        return (cols.fu == _MEM_CODE) & (cols.category == _VMEM_CODE)
+    return np.zeros(len(cols), dtype=bool)
+
+
+def branch_outcome_mask(cols, bpred: BimodalPredictor) -> bytearray:
+    """Per-instruction mispredict flags from one predictor walk.
+
+    The bimodal predictor is a pure function of the trace's
+    (site, taken) sequence -- configuration-independent -- so a stack of
+    configurations timing the same trace shares one walk.
+    """
+    n_total = len(cols)
+    mispredict = bytearray(n_total)
+    taken_l = cols.taken.tolist()
+    pc_l = cols.pc.tolist()
+    for i in np.nonzero(cols.is_branch)[0].tolist():
+        if not bpred.predict_and_update(pc_l[i], taken_l[i]):
+            mispredict[i] = 1
+    return mispredict
+
+
+def category_tallies(cat: np.ndarray, commits: np.ndarray):
+    """Fig. 6/7 per-category instruction and cycle tallies, vectorised.
+
+    Keys appear in first-occurrence order, exactly as the reference
+    implementation's dicts populate -- the golden JSON artefacts compare
+    byte-for-byte, so ordering is part of the contract.
+    """
+    diffs = np.diff(commits, prepend=0)
+    n_cats = len(CATEGORIES)
+    instr_counts = np.bincount(cat, minlength=n_cats)
+    cycle_sums = np.bincount(cat, weights=diffs, minlength=n_cats)
+    present, first_idx = np.unique(cat, return_index=True)
+    ordered = present[np.argsort(first_idx)]
+    cat_instrs = {
+        CATEGORIES[int(code)].value: int(instr_counts[code]) for code in ordered
+    }
+    cat_cycles = {
+        CATEGORIES[int(code)].value: int(cycle_sums[code]) for code in ordered
+    }
+    return cat_instrs, cat_cycles
 
 
 @dataclass
@@ -116,11 +183,8 @@ class CoreModel:
         """
         from repro.machines import get_machine, is_registered
 
-        if is_registered(config.isa):
-            return get_machine(config.isa, config.way).mem
-        from repro.timing.config import get_mem_config
-
-        return get_mem_config(config.way)
+        name = config.isa if is_registered(config.isa) else "mmx64"
+        return get_machine(name, config.way).mem
 
     def run(self, trace) -> SimResult:
         """Time one dynamic trace (columnar IR or any record iterable)."""
@@ -138,19 +202,12 @@ class CoreModel:
         fu = cols.fu
 
         # --- pure per-instruction derivations (batched) ----------------
-        # SIMD occupancy: ceil(rows / lanes) lane-limited cycles plus the
-        # vector start-up charge for multi-row instructions.
-        rows64 = cols.rows.astype(np.int64)
-        occ = np.maximum(1, -(-rows64 // cfg.lanes))
-        occ = occ + np.where(rows64 > 1, cfg.vector_startup, 0)
+        occ = simd_occupancies(cols, cfg)
 
         # Memory accesses: cache tag state evolves in trace order and is
         # independent of issue timing, so resolve every access up front.
         is_memfu = fu == _MEM_CODE
-        if self.vector_memory:
-            use_vec = is_memfu & (cols.category == _VMEM_CODE)
-        else:
-            use_vec = np.zeros(n_total, dtype=bool)
+        use_vec = vector_access_mask(cols, self.vector_memory)
         addr_l = cols.addr.tolist()
         rowb_l = cols.row_bytes.tolist()
         rows_l = cols.rows.tolist()
@@ -172,13 +229,8 @@ class CoreModel:
 
         # Branch outcomes: the bimodal predictor is a pure function of
         # the (site, taken) sequence, also trace-ordered.
-        mispredict = bytearray(n_total)
         bpred = self.bpred
-        taken_l = cols.taken.tolist()
-        pc_l = cols.pc.tolist()
-        for i in np.nonzero(cols.is_branch)[0].tolist():
-            if not bpred.predict_and_update(pc_l[i], taken_l[i]):
-                mispredict[i] = 1
+        mispredict = branch_outcome_mask(cols, bpred)
 
         # --- sequential constraint loop over precomputed arrays --------
         fu_l = fu.tolist()
@@ -389,23 +441,9 @@ class CoreModel:
             last_commit = commit
 
         # --- Fig. 6/7 category tallies (vectorised) --------------------
-        # Keys appear in first-occurrence order, exactly as the reference
-        # implementation's dicts populate -- the golden JSON artefacts
-        # compare byte-for-byte, so ordering is part of the contract.
-        cat = cols.category
-        commits_arr = np.asarray(commits, dtype=np.int64)
-        diffs = np.diff(commits_arr, prepend=0)
-        n_cats = len(CATEGORIES)
-        instr_counts = np.bincount(cat, minlength=n_cats)
-        cycle_sums = np.bincount(cat, weights=diffs, minlength=n_cats)
-        present, first_idx = np.unique(cat, return_index=True)
-        ordered = present[np.argsort(first_idx)]
-        cat_instrs = {
-            CATEGORIES[int(code)].value: int(instr_counts[code]) for code in ordered
-        }
-        cat_cycles = {
-            CATEGORIES[int(code)].value: int(cycle_sums[code]) for code in ordered
-        }
+        cat_instrs, cat_cycles = category_tallies(
+            cols.category, np.asarray(commits, dtype=np.int64)
+        )
 
         hier_stats = hier.stats()
         return SimResult(

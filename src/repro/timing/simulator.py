@@ -13,10 +13,11 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.isa.trace import ColumnarTrace, Trace
-from repro.timing.config import CoreConfig, MemHierConfig
+from repro.machines.spec import CoreConfig, MemHierConfig
+from repro.timing.batch import BatchCoreModel, ConfigPair, batch_enabled
 from repro.timing.core import CoreModel, SimResult
 
 
@@ -38,6 +39,33 @@ def simulate_trace(
     if warm:
         model.hier.warm(trace)
     return model.run(trace)
+
+
+def simulate_trace_stack(
+    trace: Union[Trace, ColumnarTrace],
+    specs: Sequence[ConfigPair],
+    warm: bool = True,
+) -> List[SimResult]:
+    """Time one trace on a whole stack of configurations.
+
+    The batched counterpart of calling :func:`simulate_trace` once per
+    ``(config, mem_config)`` pair, and value-identical to doing so: the
+    stack runs through :class:`~repro.timing.batch.BatchCoreModel` in
+    one pass where permitted, and any
+    :class:`~repro.timing.batch.BatchTimingDivergence` (env gates, no
+    usable compiled kernel) falls back to the scalar model per point.
+    """
+    if batch_enabled() and len(specs) > 1:
+        from repro.timing.batch import BatchTimingDivergence
+
+        try:
+            return BatchCoreModel(specs).run(trace, warm=warm)
+        except BatchTimingDivergence:
+            pass
+    return [
+        simulate_trace(trace, config, mem_config, warm=warm)
+        for config, mem_config in specs
+    ]
 
 
 @dataclass

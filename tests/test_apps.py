@@ -205,10 +205,10 @@ class TestStreamedKernelTraces:
 
     def test_segments_are_timeable(self):
         from repro.apps.runner import stream_app_kernel_traces
-        from repro.timing.config import get_config
+        from repro.machines import get_machine
         from repro.timing.simulator import simulate_trace
 
         for kernel, seg in stream_app_kernel_traces("gsmdec", isa="mmx64"):
-            result = simulate_trace(seg, get_config("mmx64", 2))
+            result = simulate_trace(seg, get_machine("mmx64", 2).core)
             assert result.instructions == len(seg)
             assert result.cycles > 0

@@ -5,7 +5,8 @@ import pytest
 from repro.isa.opcodes import Category, FUClass
 from repro.isa.trace import Trace, TraceRecord
 from repro.timing.caches import BimodalPredictor, Cache, MemoryHierarchy
-from repro.timing.config import CacheConfig, get_mem_config
+from repro.machines import get_machine
+from repro.machines.spec import CacheConfig
 
 
 def small_cache(size=1024, assoc=2, line=32):
@@ -59,43 +60,43 @@ class TestCache:
 
 class TestMemoryHierarchy:
     def test_l1_hit_latency(self):
-        h = MemoryHierarchy(get_mem_config(2))
+        h = MemoryHierarchy(get_machine("mmx64", 2).mem)
         h.scalar_access(64, 4)
         result = h.scalar_access(64, 4)
         assert result.latency == h.config.l1.latency
 
     def test_l1_miss_goes_to_memory_first_touch(self):
-        h = MemoryHierarchy(get_mem_config(2))
+        h = MemoryHierarchy(get_machine("mmx64", 2).mem)
         result = h.scalar_access(64, 4)
         assert result.latency >= h.config.main_latency
 
     def test_wide_access_occupies_more_port_cycles(self):
-        h = MemoryHierarchy(get_mem_config(2))
+        h = MemoryHierarchy(get_machine("mmx64", 2).mem)
         narrow = h.scalar_access(64, 8)
         wide = h.scalar_access(64, 16)
         assert wide.occupancy == 2 * narrow.occupancy
 
     def test_vector_unit_stride_uses_port_width(self):
-        h = MemoryHierarchy(get_mem_config(2))  # 16-byte L2 port
+        h = MemoryHierarchy(get_machine("mmx64", 2).mem)  # 16-byte L2 port
         h.vector_access(0, 8, 16, 8)
         result = h.vector_access(0, 8, 16, 8)
         assert result.occupancy == 16 * 8 // 16
 
     def test_vector_strided_one_element_per_cycle(self):
-        h = MemoryHierarchy(get_mem_config(2))
+        h = MemoryHierarchy(get_machine("mmx64", 2).mem)
         h.vector_access(0, 8, 16, 800)
         result = h.vector_access(0, 8, 16, 800)
         assert result.occupancy == 16
 
     def test_vector_strided_wide_rows_cost_two_elements(self):
-        h = MemoryHierarchy(get_mem_config(2))
+        h = MemoryHierarchy(get_machine("mmx64", 2).mem)
         h.vector_access(0, 16, 16, 800)
         result = h.vector_access(0, 16, 16, 800)
         assert result.occupancy == 32
 
     def test_strided_bandwidth_scales_with_way(self):
-        h2 = MemoryHierarchy(get_mem_config(2))
-        h8 = MemoryHierarchy(get_mem_config(8))
+        h2 = MemoryHierarchy(get_machine("mmx64", 2).mem)
+        h8 = MemoryHierarchy(get_machine("mmx64", 8).mem)
         h2.vector_access(0, 8, 16, 800)
         h8.vector_access(0, 8, 16, 800)
         slow = h2.vector_access(0, 8, 16, 800).occupancy
@@ -103,7 +104,7 @@ class TestMemoryHierarchy:
         assert fast < slow
 
     def test_strided_access_does_not_pollute_gaps(self):
-        h = MemoryHierarchy(get_mem_config(2))
+        h = MemoryHierarchy(get_machine("mmx64", 2).mem)
         h.vector_access(0, 8, 4, 1024)  # rows at 0, 1024, 2048, 3072
         misses_before = h.l2.stats.misses
         h.scalar_access(512, 4)          # the gap must still miss in L2
@@ -111,7 +112,7 @@ class TestMemoryHierarchy:
         assert h.l2.stats.misses > misses_before
 
     def test_warm_resets_stats(self):
-        h = MemoryHierarchy(get_mem_config(2))
+        h = MemoryHierarchy(get_machine("mmx64", 2).mem)
         t = Trace()
         t.append(
             TraceRecord(

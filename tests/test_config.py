@@ -1,79 +1,82 @@
-"""Table III / Table IV configuration invariants."""
+"""Table III / Table IV configuration invariants, via the registry."""
+
+import dataclasses
 
 import pytest
 
-from repro.timing.config import (
-    CONFIGS,
-    ISAS,
-    MEM_CONFIGS,
-    WAYS,
-    get_config,
-    get_mem_config,
-    with_overrides,
-)
+from repro.machines import ISAS, WAYS, get_machine
+
+
+def core(isa, way):
+    return get_machine(isa, way).core
+
+
+def mem(way):
+    return get_machine("mmx64", way).mem
 
 
 class TestCoreConfigs:
     def test_all_twelve_exist(self):
-        assert len(CONFIGS) == 12
+        assert len({(isa, way) for isa in ISAS for way in WAYS}) == 12
 
     @pytest.mark.parametrize("isa", ISAS)
     @pytest.mark.parametrize("way", WAYS)
     def test_widths_follow_way(self, isa, way):
-        c = get_config(isa, way)
+        c = core(isa, way)
         assert c.fetch_width == way
         assert c.commit_width == way
         assert c.int_fus == way
 
     def test_fp_units_table3(self):
-        assert [get_config("mmx64", w).fp_fus for w in WAYS] == [1, 2, 4]
+        assert [core("mmx64", w).fp_fus for w in WAYS] == [1, 2, 4]
 
     def test_mmx_simd_issue_equals_way(self):
         for way in WAYS:
-            assert get_config("mmx64", way).simd_issue == way
-            assert get_config("mmx128", way).simd_issue == way
+            assert core("mmx64", way).simd_issue == way
+            assert core("mmx128", way).simd_issue == way
 
     def test_vmmx_simd_issue_1_2_3(self):
-        assert [get_config("vmmx64", w).simd_issue for w in WAYS] == [1, 2, 3]
+        assert [core("vmmx64", w).simd_issue for w in WAYS] == [1, 2, 3]
 
     def test_vmmx_has_four_lanes(self):
         for way in WAYS:
-            assert get_config("vmmx64", way).lanes == 4
-            assert get_config("vmmx128", way).lanes == 4
-            assert get_config("mmx64", way).lanes == 1
+            assert core("vmmx64", way).lanes == 4
+            assert core("vmmx128", way).lanes == 4
+            assert core("mmx64", way).lanes == 1
 
     def test_l1_ports_table3(self):
-        assert [get_config("mmx64", w).mem_ports for w in WAYS] == [1, 2, 4]
-        assert [get_config("vmmx64", w).mem_ports for w in WAYS] == [1, 1, 2]
+        assert [core("mmx64", w).mem_ports for w in WAYS] == [1, 2, 4]
+        assert [core("vmmx64", w).mem_ports for w in WAYS] == [1, 1, 2]
 
     def test_physical_simd_registers_table3(self):
-        assert [get_config("mmx64", w).phys_simd_regs for w in WAYS] == [40, 64, 96]
-        assert [get_config("vmmx128", w).phys_simd_regs for w in WAYS] == [20, 36, 64]
+        assert [core("mmx64", w).phys_simd_regs for w in WAYS] == [40, 64, 96]
+        assert [core("vmmx128", w).phys_simd_regs for w in WAYS] == [20, 36, 64]
 
     def test_logical_registers(self):
-        assert get_config("mmx64", 2).logical_simd_regs == 32
-        assert get_config("vmmx64", 2).logical_simd_regs == 16
+        assert core("mmx64", 2).logical_simd_regs == 32
+        assert core("vmmx64", 2).logical_simd_regs == 16
 
     def test_simd_inflight_positive(self):
-        for c in CONFIGS.values():
-            assert c.simd_inflight >= 2
+        for isa in ISAS:
+            for way in WAYS:
+                assert core(isa, way).simd_inflight >= 2
 
     def test_is_matrix_flag(self):
-        assert get_config("vmmx64", 2).is_matrix
-        assert not get_config("mmx128", 2).is_matrix
+        assert core("vmmx64", 2).is_matrix
+        assert not core("mmx128", 2).is_matrix
 
     def test_name(self):
-        assert get_config("mmx64", 4).name == "4way-mmx64"
+        assert core("mmx64", 4).name == "4way-mmx64"
 
-    def test_unknown_config_raises(self):
+    def test_unknown_machine_raises(self):
         with pytest.raises(KeyError):
-            get_config("sse4", 2)
+            get_machine("sse4", 2)
         with pytest.raises(KeyError):
-            get_config("mmx64", 16)
+            get_machine("mmx64", 0)
 
-    def test_with_overrides_returns_new(self):
-        base = get_config("mmx64", 2)
-        derived = with_overrides(base, rob_size=8)
+    def test_ablation_via_dataclasses_replace(self):
+        base = core("mmx64", 2)
+        derived = dataclasses.replace(base, rob_size=8)
         assert derived.rob_size == 8
         assert base.rob_size != 8
 
@@ -81,7 +84,7 @@ class TestCoreConfigs:
 class TestMemConfigs:
     def test_l1_geometry_table4(self):
         for way in WAYS:
-            l1 = get_mem_config(way).l1
+            l1 = mem(way).l1
             assert l1.size == 32 * 1024
             assert l1.assoc == 4
             assert l1.line == 32
@@ -90,21 +93,24 @@ class TestMemConfigs:
 
     def test_l2_geometry_table4(self):
         for way in WAYS:
-            l2 = get_mem_config(way).l2
+            l2 = mem(way).l2
             assert l2.size == 512 * 1024
             assert l2.assoc == 2
             assert l2.line == 128
             assert l2.latency == 12
 
     def test_l2_port_width_scales(self):
-        assert [get_mem_config(w).l2.port_bytes for w in WAYS] == [16, 32, 64]
+        assert [mem(w).l2.port_bytes for w in WAYS] == [16, 32, 64]
 
     def test_main_memory_latency(self):
-        assert get_mem_config(2).main_latency == 500
+        assert mem(2).main_latency == 500
 
     def test_strided_rate_scales(self):
-        rates = [get_mem_config(w).strided_rows_per_cycle for w in WAYS]
+        rates = [mem(w).strided_rows_per_cycle for w in WAYS]
         assert rates == [1.0, 2.0, 4.0]
 
-    def test_mem_configs_complete(self):
-        assert set(MEM_CONFIGS) == set(WAYS)
+    def test_hierarchy_shared_across_paper_families(self):
+        for way in WAYS:
+            reference = mem(way)
+            for isa in ISAS:
+                assert get_machine(isa, way).mem == reference

@@ -1,4 +1,4 @@
-"""MachineSpec registry, scaling, serialisation and shim equivalence."""
+"""MachineSpec registry, scaling, serialisation and paper constants."""
 
 import dataclasses
 import json
@@ -24,8 +24,8 @@ from repro.machines import (
     registered_machines,
     unregister_machine,
 )
+from repro.machines import ISAS, WAYS
 from repro.machines.registry import MMX_CORE_SCALING, PAPER_MEM_SCALING
-from repro.timing.config import CONFIGS, ISAS, WAYS, get_config, get_mem_config
 
 MANIFEST = pathlib.Path(__file__).parent / "machine_manifest.json"
 
@@ -73,39 +73,29 @@ class TestScalingCurve:
             ScalingCurve(anchors=((2, 0.0),))
 
 
-class TestShimEquivalence:
-    """get_config(isa, way) == registry spec for all twelve paper machines."""
+class TestPaperConstants:
+    """ISAS/WAYS are registry-derived and back the top-level CONFIGS."""
 
-    @pytest.mark.parametrize("isa", ISAS)
-    @pytest.mark.parametrize("way", WAYS)
-    def test_core_identical(self, isa, way):
-        assert dataclasses.asdict(get_config(isa, way)) == dataclasses.asdict(
-            get_machine(isa, way).core
-        )
+    def test_paper_axes(self):
+        assert ISAS == ("mmx64", "mmx128", "vmmx64", "vmmx128")
+        assert WAYS == (2, 4, 8)
 
-    @pytest.mark.parametrize("way", WAYS)
-    def test_mem_identical(self, way):
-        assert dataclasses.asdict(get_mem_config(way)) == dataclasses.asdict(
-            get_machine("mmx64", way).mem
-        )
+    def test_axes_enumerate_the_paper_machines(self):
+        assert [(s.name, s.way) for s in paper_machines()] == [
+            (isa, way) for isa in ISAS for way in WAYS
+        ]
 
-    def test_configs_table_backed_by_registry(self):
-        assert len(CONFIGS) == 12
-        for (isa, way), config in CONFIGS.items():
+    def test_top_level_configs_backed_by_registry(self):
+        import repro
+
+        configs = repro.CONFIGS
+        assert len(configs) == 12
+        for (isa, way), config in configs.items():
             assert config is get_machine(isa, way).core
 
-    def test_get_config_helpful_errors(self):
+    def test_unknown_machine_error(self):
         with pytest.raises(KeyError, match="no registered machine"):
-            get_config("sse4", 2)
-        with pytest.raises(KeyError, match="declared widths"):
-            get_config("mmx64", 16)
-
-    def test_get_mem_config_helpful_error(self):
-        # Previously a bare KeyError with no message at all.
-        with pytest.raises(KeyError, match="available widths: 2, 4, 8"):
-            get_mem_config(16)
-        with pytest.raises(KeyError, match="available widths"):
-            get_mem_config(0)
+            get_machine("sse4", 2)
 
 
 class TestRegistry:

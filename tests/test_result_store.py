@@ -34,7 +34,9 @@ from repro.sweep.store import (
     save_payload,
     stable_hash,
 )
-from repro.timing.config import get_config, get_mem_config, with_overrides
+import dataclasses
+
+from repro.machines import get_machine
 
 POINT = SweepPoint("ycc", "mmx64", 2)
 
@@ -98,12 +100,12 @@ class TestInvalidation:
     def test_fingerprint_tracks_resolved_values(self):
         config, mem = resolve_configs(POINT)
         assert config_fingerprint(config, mem) != config_fingerprint(
-            with_overrides(config, rob_size=config.rob_size * 2), mem
+            dataclasses.replace(config, rob_size=config.rob_size * 2), mem
         )
 
     def test_mem_fingerprint_tracks_nested_values(self):
-        config = get_config("vmmx128", 2)
-        mem = get_mem_config(2)
+        config = get_machine("vmmx128", 2).core
+        mem = get_machine("vmmx128", 2).mem
         ablated, mem2 = resolve_configs(
             SweepPoint("ycc", "vmmx128", 2, mem_overrides={"l2.port_bytes": 8})
         )

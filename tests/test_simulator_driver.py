@@ -3,7 +3,7 @@
 import pytest
 
 from repro.timing.simulator import KernelTiming, simulate_kernel, simulate_trace
-from repro.timing.config import get_config
+from repro.machines import get_machine
 from repro.isa.trace import Trace
 
 
@@ -43,7 +43,7 @@ class TestSimulateKernel:
 
 class TestSimulateTrace:
     def test_empty_trace(self):
-        result = simulate_trace(Trace(), get_config("mmx64", 2))
+        result = simulate_trace(Trace(), get_machine("mmx64", 2).core)
         assert result.cycles == 0
 
     def test_warm_flag_changes_results(self):
@@ -51,10 +51,10 @@ class TestSimulateTrace:
         from repro.kernels.registry import KERNELS
 
         trace = run(KERNELS["comp"], "mmx64", seed=0).trace
-        cold = simulate_trace(trace, get_config("mmx64", 2), warm=False)
-        warm = simulate_trace(trace, get_config("mmx64", 2), warm=True)
+        cold = simulate_trace(trace, get_machine("mmx64", 2).core, warm=False)
+        warm = simulate_trace(trace, get_machine("mmx64", 2).core, warm=True)
         assert warm.cycles < cold.cycles
 
     def test_result_reports_config_name(self):
-        result = simulate_trace(Trace(), get_config("vmmx128", 8))
+        result = simulate_trace(Trace(), get_machine("vmmx128", 8).core)
         assert result.config_name == "8way-vmmx128"

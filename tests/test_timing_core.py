@@ -5,11 +5,13 @@ dependences, issue widths, FU pools, lane occupancy, memory ports, ROB,
 physical registers, branch mispredictions and commit ordering.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.isa.opcodes import Category, FUClass
 from repro.isa.trace import Trace, TraceRecord
-from repro.timing.config import get_config, with_overrides
+from repro.machines import get_machine
 from repro.timing.core import CoreModel
 
 
@@ -42,9 +44,9 @@ def branch(taken, site=1):
 
 
 def run(records, isa="mmx64", way=2, warm=True, **overrides):
-    config = get_config(isa, way)
+    config = get_machine(isa, way).core
     if overrides:
-        config = with_overrides(config, **overrides)
+        config = dataclasses.replace(config, **overrides)
     trace = Trace()
     for r in records:
         trace.append(r)

@@ -5,6 +5,8 @@ sanity laws regardless of the input: monotonicity in resources,
 conservation of instruction counts, and cycle-attribution consistency.
 """
 
+import dataclasses
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -12,7 +14,7 @@ from hypothesis import strategies as st
 
 from repro.isa.opcodes import Category, FUClass
 from repro.isa.trace import Trace, TraceRecord
-from repro.timing.config import get_config, with_overrides
+from repro.machines import get_machine
 from repro.timing.core import CoreModel
 
 
@@ -66,9 +68,9 @@ def random_trace(draw, max_len=120):
 
 
 def simulate(trace, isa="mmx64", way=2, **overrides):
-    config = get_config(isa, way)
+    config = get_machine(isa, way).core
     if overrides:
-        config = with_overrides(config, **overrides)
+        config = dataclasses.replace(config, **overrides)
     model = CoreModel(config)
     model.hier.warm(trace)
     return model.run(trace)

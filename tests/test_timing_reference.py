@@ -20,7 +20,7 @@ from hypothesis import strategies as st
 
 from repro.isa.opcodes import Category, FUClass
 from repro.isa.trace import Trace, TraceRecord
-from repro.timing.config import get_config
+from repro.machines import get_machine
 from repro.timing.core import REFERENCE_ENV, CoreModel
 
 
@@ -88,7 +88,7 @@ def random_trace(draw, max_len=110):
 def both_results(trace, isa, way):
     results = []
     for use_reference in (False, True):
-        model = CoreModel(get_config(isa, way))
+        model = CoreModel(get_machine(isa, way).core)
         model.hier.warm(trace)
         if use_reference:
             results.append(model.run_reference(trace))
@@ -147,8 +147,8 @@ class TestCounterSpill:
                     addr=(1 << 20) + (1 << 15) * i, row_bytes=8,
                 )
             )
-        columnar_model = CoreModel(get_config("mmx64", 2))
-        reference_model = CoreModel(get_config("mmx64", 2))
+        columnar_model = CoreModel(get_machine("mmx64", 2).core)
+        reference_model = CoreModel(get_machine("mmx64", 2).core)
         columnar = columnar_model.run(trace)          # cold: no warm()
         reference = reference_model.run_reference(trace)
         assert columnar == reference
@@ -166,7 +166,7 @@ class TestReferenceGate:
                 latency=1, dsts=(1,),
             )
         )
-        model = CoreModel(get_config("mmx64", 2))
+        model = CoreModel(get_machine("mmx64", 2).core)
         original = CoreModel.run_reference
 
         def spy(self, records):
@@ -178,7 +178,7 @@ class TestReferenceGate:
         gated = model.run(trace)
         assert calls == [1]
         monkeypatch.delenv(REFERENCE_ENV)
-        model2 = CoreModel(get_config("mmx64", 2))
+        model2 = CoreModel(get_machine("mmx64", 2).core)
         assert model2.run(trace) == gated
 
     def test_gate_off_by_default(self):

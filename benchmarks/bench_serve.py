@@ -1,0 +1,187 @@
+"""Serving-layer latency and coalescing throughput.
+
+Measures the query front-end (`repro.serve`) against an in-process
+server and a disposable warm store, so the numbers isolate the serving
+stack (routing, caches, single-flight) from simulation cost:
+
+* ``warm_hit_p50_seconds`` / ``warm_hit_p99_seconds`` -- point-query
+  latency once the payload cache is warm (the interactive steady
+  state);
+* ``coalesced_requests_per_sec`` vs ``uncoalesced_requests_per_sec`` --
+  N concurrent identical cold-cache queries with single-flight
+  coalescing on and off (same app, same store, caches cleared between
+  runs), making the value of coalescing a tracked number rather than a
+  claim;
+* ``retime_stack_seconds`` -- one 8-variant batched re-timing request
+  end to end (must stay well under a second: it is the interactive
+  exploration primitive).
+
+Two ways to run:
+
+* ``python benchmarks/bench_serve.py [--json PATH]
+  [--check-floor benchmarks/perf_floor.json]`` -- the self-contained
+  CLI used by the CI serve-smoke step; fails when the warm-hit p50
+  rises above ``serve_warm_hit_p50_seconds_max``.
+* ``pytest benchmarks/bench_serve.py`` -- a pytest-benchmark
+  micro-benchmark of the warm hit (needs ``pytest-benchmark``).
+"""
+
+import argparse
+import asyncio
+import json
+import os
+import statistics
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.serve import ServeApp  # noqa: E402
+from repro.sweep import ResultStore, SweepPoint, run_point  # noqa: E402
+
+#: Ceiling key enforced by --check-floor (seconds, p50 warm point hit).
+CEILING_KEY = "serve_warm_hit_p50_seconds_max"
+
+POINT_TARGET = "/v1/point?kernel=addblock&version=mmx64&way=2"
+WARM_SAMPLES = 200
+CONCURRENCY = 16
+
+
+def _warm_store():
+    root = tempfile.mkdtemp(prefix="bench-serve-")
+    store = ResultStore(root)
+    run_point(SweepPoint(kernel="addblock", version="mmx64", way=2), store=store)
+    return store
+
+
+async def _measure(app):
+    results = {}
+    # Prime caches, then sample the steady state.
+    await app.handle_request("GET", POINT_TARGET)
+    samples = []
+    for _ in range(WARM_SAMPLES):
+        started = time.perf_counter()
+        response = await app.handle_request("GET", POINT_TARGET)
+        samples.append(time.perf_counter() - started)
+        assert response.status == 200
+    samples.sort()
+    results["warm_hit_p50_seconds"] = statistics.median(samples)
+    results["warm_hit_p99_seconds"] = samples[int(0.99 * (len(samples) - 1))]
+
+    body = json.dumps({
+        "kernel": "addblock", "version": "mmx64",
+        "variants": [{"way": w} for w in (1, 2, 4, 8, 16, 32, 64, 128)],
+    }).encode()
+    started = time.perf_counter()
+    response = await app.handle_request("POST", "/v1/retime", body)
+    results["retime_stack_seconds"] = time.perf_counter() - started
+    assert response.status == 200
+    assert json.loads(response.body)["dispatches"] == 1
+    return results
+
+
+async def _throughput(app, rounds=20):
+    """Requests/sec for CONCURRENCY identical queries, cold cache."""
+    total = 0
+    elapsed = 0.0
+    for _ in range(rounds):
+        app.payload_cache.clear()
+        started = time.perf_counter()
+        responses = await asyncio.gather(*[
+            app.handle_request("GET", POINT_TARGET)
+            for _ in range(CONCURRENCY)
+        ])
+        elapsed += time.perf_counter() - started
+        assert all(r.status == 200 for r in responses)
+        total += len(responses)
+    return total / elapsed
+
+
+def measure_serve_speed():
+    store = _warm_store()
+
+    async def coalesced():
+        app = ServeApp(store=store, workers=2, coalesce=True)
+        results = await _measure(app)
+        results["coalesced_requests_per_sec"] = await _throughput(app)
+        await app.shutdown()
+        return results
+
+    async def uncoalesced():
+        app = ServeApp(store=store, workers=2, coalesce=False)
+        rate = await _throughput(app)
+        await app.shutdown()
+        return rate
+
+    results = asyncio.run(coalesced())
+    results["uncoalesced_requests_per_sec"] = asyncio.run(uncoalesced())
+    return results
+
+
+def check_floor(results, floor_path):
+    """Fail (return False) when the warm-hit p50 exceeds its ceiling."""
+    with open(floor_path) as handle:
+        floors = json.load(handle)
+    ceiling = floors.get(CEILING_KEY)
+    if ceiling is None:
+        return True
+    p50 = results["warm_hit_p50_seconds"]
+    status = "ok" if p50 <= ceiling else "REGRESSION"
+    print(f"{CEILING_KEY}: {p50 * 1000:.3f}ms (ceiling {ceiling * 1000:.3f}ms) {status}")
+    return p50 <= ceiling
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the measured numbers to PATH")
+    parser.add_argument("--check-floor", default=None, metavar="FLOOR.json",
+                        help="fail when warm-hit p50 exceeds its ceiling")
+    args = parser.parse_args(argv)
+
+    results = measure_serve_speed()
+    for key in sorted(results):
+        value = results[key]
+        if key.endswith("_seconds"):
+            print(f"{key}: {value * 1000:.3f}ms")
+        else:
+            print(f"{key}: {value:,.0f}/s")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.check_floor and not check_floor(results, args.check_floor):
+        return 1
+    return 0
+
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - CLI use without pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(group="serve")
+    def test_warm_point_hit(benchmark):
+        store = _warm_store()
+        app = ServeApp(store=store, workers=1)
+
+        async def prime():
+            await app.handle_request("GET", POINT_TARGET)
+
+        asyncio.run(prime())
+
+        def hit():
+            return asyncio.run(app.handle_request("GET", POINT_TARGET))
+
+        response = benchmark(hit)
+        assert response.status == 200
+        assert response.source == "cache"
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,8 @@ registry::
     python -m repro campaign resume --root /tmp/campaign
     python -m repro store --store-root /tmp/merged merge /tmp/campaign/shard-*
     python -m repro store verify
+    python -m repro store missing --grid fig4
+    python -m repro serve --port 8377
     python -m repro machines
     python -m repro machines --validate
     python -m repro list
@@ -405,6 +407,49 @@ def _store_for_maintenance(args):
     return store, None
 
 
+def _axis_points(args):
+    """Build the deduped point list named by --grid / axis flags.
+
+    Shared by ``store missing`` (and anything else that needs a grid
+    without running it).  Returns ``(points, error_message)``.
+    """
+    from repro.kernels.registry import KERNELS
+    from repro.machines import ISAS, WAYS, is_registered, machine_names
+    from repro.sweep import GRIDS, dedupe, machine_grid
+
+    if args.grid:
+        if args.grid not in GRIDS:
+            return None, (
+                f"unknown grid {args.grid!r}; available: {', '.join(GRIDS)}"
+            )
+        return dedupe(GRIDS[args.grid]()), None
+    kernels = _split(args.kernels) if args.kernels != "all" else tuple(KERNELS)
+    machines = _split(args.machines) if args.machines is not None else ISAS
+    try:
+        ways = (
+            tuple(int(w) for w in _split(args.ways))
+            if args.ways != "all" else WAYS
+        )
+        seeds = tuple(int(s) for s in _split(args.seeds))
+    except ValueError as exc:
+        return None, f"--ways/--seeds take comma-separated integers: {exc}"
+    unknown = [k for k in kernels if k not in KERNELS]
+    if unknown:
+        return None, (
+            f"unknown kernel(s): {', '.join(unknown)}; "
+            "try: python -m repro list"
+        )
+    bad = [m for m in machines if not is_registered(m)]
+    if bad:
+        return None, (
+            f"unknown machine(s): {', '.join(bad)}; registered: "
+            f"{', '.join(machine_names())}"
+        )
+    if any(w < 1 for w in ways):
+        return None, "machine widths must be positive integers"
+    return dedupe(machine_grid(kernels, machines, ways, seeds)), None
+
+
 def _cmd_store(args) -> int:
     from repro.sweep import ResultStore
 
@@ -415,6 +460,11 @@ def _cmd_store(args) -> int:
 
     if args.verb == "stats":
         stats = store.stats()
+        if args.json:
+            # The machine-readable contract: the same schema-stamped
+            # mapping ``/metrics`` embeds, stable for scripts to parse.
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
         print(f"store {stats['root']}:")
         print(f"  {stats['records']} records, {stats['bytes']} bytes")
         for kind, count in stats["by_kind"].items():
@@ -432,6 +482,25 @@ def _cmd_store(args) -> int:
         report = store.verify()
         print(report.summary())
         return 0 if report.ok else 1
+
+    if args.verb == "missing":
+        from repro.sweep import point_key
+
+        points, error = _axis_points(args)
+        if points is None:
+            print(error)
+            return 1
+        keyed = {point_key(point): point for point in points}
+        absent = store.missing(list(keyed))
+        for key in absent:
+            print(f"{key}  {keyed[key].label}")
+        print(
+            f"store {store.root}: {len(points) - len(absent)}/{len(points)} "
+            f"points present, {len(absent)} missing"
+        )
+        # Exit 2 (not 1) so scripts can tell "work to do" from "usage
+        # error" -- the campaign dispatcher keys off this.
+        return 2 if absent else 0
 
     if args.verb == "gc":
         stats = store.gc(
@@ -635,6 +704,62 @@ def _cmd_campaign(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    if args.store is not None:
+        # Through the environment so nested simulate_kernel calls and
+        # backfill sweeps agree on it, exactly as `sweep --store` does.
+        os.environ["REPRO_STORE"] = args.store
+    from repro.sweep import default_store
+
+    store = default_store()
+    if store is None:
+        print(
+            "the result store is disabled (REPRO_STORE=off); the server "
+            "needs one -- pass --store DIR"
+        )
+        return 1
+
+    from repro.serve import ServeApp, serve_forever
+
+    log = None if args.quiet else print
+    app = ServeApp(
+        store=store,
+        cache_bytes=args.cache_mb * 1024 * 1024,
+        workers=args.workers,
+        coalesce=not args.no_coalesce,
+        log=log,
+    )
+
+    async def run() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+
+        def ready(host: str, port: int) -> None:
+            print(
+                f"serving on http://{host}:{port} (store {store.root}, "
+                f"{args.workers} workers, coalescing "
+                f"{'off' if args.no_coalesce else 'on'})",
+                flush=True,
+            )
+
+        await serve_forever(app, args.host, args.port, ready=ready, stop=stop)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover
+        pass
+    print("server drained; bye")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The complete ``python -m repro`` argument parser.
 
@@ -708,13 +833,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="only print the final summary line")
     store = sub.add_parser(
         "store", help="maintain a result store (merge, gc, verify, stats, "
-                      "export, import)"
+                      "missing, export, import)"
     )
     store.add_argument("--store-root", default=None, metavar="DIR",
                        help="store to operate on (default: $REPRO_STORE or "
                             "~/.cache/repro-sweep)")
     verbs = store.add_subparsers(dest="verb", required=True)
-    verbs.add_parser("stats", help="record counts, sizes and code versions")
+    stats_p = verbs.add_parser(
+        "stats", help="record counts, sizes and code versions"
+    )
+    stats_p.add_argument("--json", action="store_true",
+                         help="emit the schema-stamped machine-readable "
+                              "stats mapping instead of prose")
+    missing = verbs.add_parser(
+        "missing",
+        help="list the points of a grid this store has no record for "
+             "(exit 0 complete, 2 incomplete)",
+    )
+    missing.add_argument("--grid", default=None, metavar="NAME",
+                         help="named grid: fig4, fig5, fig6, fig7 or full")
+    missing.add_argument("--kernels", default="all",
+                         help="comma-separated kernel names (default: all)")
+    missing.add_argument("--machines", default=None,
+                         help="comma-separated registered machine names "
+                              "(default: the four paper ISAs)")
+    missing.add_argument("--ways", default="all",
+                         help="comma-separated machine widths "
+                              "(default: 2,4,8)")
+    missing.add_argument("--seeds", default="0",
+                         help="comma-separated workload seeds (default: 0)")
     verbs.add_parser("verify", help="re-hash every payload; non-zero exit on "
                                     "any corruption")
     gc = verbs.add_parser("gc", help="drop records from retired code versions")
@@ -802,6 +949,30 @@ def build_parser() -> argparse.ArgumentParser:
         verb_parser.add_argument(
             "--quiet", action="store_true",
             help="only print the final campaign summary")
+    serve = sub.add_parser(
+        "serve",
+        help="asyncio HTTP query front-end over the result store "
+             "(figures, tables, points, batched re-timing)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8377,
+                       help="TCP port (default: 8377; 0 picks a free one)")
+    serve.add_argument("--store", default=None, metavar="PATH",
+                       help="result-store directory to serve from (default: "
+                            "$REPRO_STORE or ~/.cache/repro-sweep)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="background executor threads (default: 2; "
+                            "compute is lock-serialised, extra workers "
+                            "only parallelise store reads)")
+    serve.add_argument("--cache-mb", type=int, default=64, metavar="MB",
+                       help="payload-cache budget in MiB (default: 64; the "
+                            "hot-trace cache gets 4x this)")
+    serve.add_argument("--no-coalesce", action="store_true",
+                       help="disable single-flight request coalescing "
+                            "(benchmarking aid)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request log lines")
     return parser
 
 
@@ -818,6 +989,8 @@ def main(argv=None) -> int:
         return _cmd_store(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "kernel" and args.machine is None and args.isa == "scalar":
         print("timing configs exist for SIMD ISAs; use --isa mmx64/.../vmmx128")
         return 1

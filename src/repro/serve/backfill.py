@@ -1,0 +1,121 @@
+"""Background backfill jobs behind the service's 202 responses.
+
+A cold query (its record absent from the store) never computes on the
+request path: the handler enqueues a backfill -- the existing
+sweep/compute machinery run in a background thread executor -- and
+answers ``202 Accepted`` with a job id to poll.  Job ids *are* the
+content-addressed keys the backfill will materialise, so repeated cold
+queries for the same resource converge on the same job (idempotent
+enqueue), the poll endpoint is stable across clients, and a completed
+job means exactly "the record is now in the store; re-issue the query".
+
+Graceful shutdown drains the queue: in-flight backfills run to
+completion (bounded by a timeout) before the executor is torn down, so
+a drained store write is never half-lost to a restart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+#: A job is one of these, in order; ``done``/``failed`` are terminal
+#: (a failed key may be re-enqueued as a fresh attempt).
+JOB_STATES = ("pending", "running", "done", "failed")
+
+
+@dataclass
+class BackfillJob:
+    """One backfill: the key it materialises and its lifecycle."""
+
+    key: str
+    kind: str
+    detail: str
+    state: str = "pending"
+    error: Optional[str] = None
+    created: float = field(default_factory=time.time)
+    finished: Optional[float] = None
+    attempts: int = 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "job": self.key,
+            "kind": self.kind,
+            "detail": self.detail,
+            "state": self.state,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+
+class BackfillQueue:
+    """Registry + scheduler for backfill jobs (event-loop confined).
+
+    ``run_blocking`` is the app's executor bridge: an async callable
+    that runs a plain function in the background thread pool.  The
+    queue never caps concurrency itself -- the executor's worker count
+    (and the app's compute lock) is the throttle.
+    """
+
+    def __init__(
+        self, run_blocking: Callable[[Callable[[], Any]], "asyncio.Future[Any]"]
+    ) -> None:
+        self._run_blocking = run_blocking
+        self.jobs: Dict[str, BackfillJob] = {}
+        self._tasks: Dict[str, "asyncio.Task[Any]"] = {}
+
+    def get(self, key: str) -> Optional[BackfillJob]:
+        return self.jobs.get(key)
+
+    def submit(
+        self, key: str, kind: str, detail: str, fn: Callable[[], Any]
+    ) -> Tuple[BackfillJob, bool]:
+        """Enqueue ``fn`` to materialise ``key``; idempotent per key.
+
+        Returns ``(job, enqueued)``: an existing pending/running/done
+        job is returned as-is (``enqueued=False``); a failed job is
+        retried as a fresh attempt.
+        """
+        job = self.jobs.get(key)
+        if job is not None and job.state in ("pending", "running", "done"):
+            return job, False
+        attempts = job.attempts + 1 if job is not None else 1
+        job = BackfillJob(key=key, kind=kind, detail=detail, attempts=attempts)
+        self.jobs[key] = job
+        self._tasks[key] = asyncio.ensure_future(self._run(job, fn))
+        return job, True
+
+    async def _run(self, job: BackfillJob, fn: Callable[[], Any]) -> None:
+        job.state = "running"
+        try:
+            await self._run_blocking(fn)
+        except Exception:
+            job.state = "failed"
+            job.error = traceback.format_exc(limit=4)
+        else:
+            job.state = "done"
+        finally:
+            job.finished = time.time()
+            self._tasks.pop(job.key, None)
+
+    def counts(self) -> Dict[str, int]:
+        counts = {state: 0 for state in JOB_STATES}
+        for job in self.jobs.values():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Await every in-flight job; False if the timeout expired first.
+
+        Jobs still running after the timeout are left to the executor's
+        own shutdown (which waits for running work) -- drain never
+        cancels a store write midway.
+        """
+        pending = [task for task in self._tasks.values() if not task.done()]
+        if not pending:
+            return True
+        done, still_pending = await asyncio.wait(pending, timeout=timeout)
+        return not still_pending

@@ -1,0 +1,85 @@
+"""Bounded in-memory LRU caches for the serving hot set.
+
+Two instances back the service: one over *response payload bytes*
+(rendered artifacts, point records -- a warm hit costs a dict lookup,
+no recomputation, no disk) and one over *deserialized columnar traces*
+(the largest objects in the system; re-timing endpoints walk them
+directly).  Both are weighed in bytes, not entries, because one app
+trace can outweigh a thousand table payloads; the on-disk store remains
+the system of record, so eviction only ever costs a re-read.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+
+class LruCache:
+    """Byte-weighted LRU with hit/miss/eviction accounting.
+
+    Single-threaded by design: the service mutates it only from the
+    event loop.  ``put`` of an entry larger than the whole budget is
+    refused (counted in ``rejected``) rather than flushing everything
+    else to make room for one oversized tenant.
+    """
+
+    def __init__(self, max_bytes: int, name: str = "cache") -> None:
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes!r}")
+        self.name = name
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[Any]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[0]
+
+    def put(self, key: str, value: Any, size: int) -> bool:
+        """Insert ``value`` weighing ``size`` bytes; True if it stayed."""
+        size = max(0, int(size))
+        if size > self.max_bytes:
+            self.rejected += 1
+            self._entries.pop(key, None)
+            return False
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.bytes -= old[1]
+        self._entries[key] = (value, size)
+        self.bytes += size
+        while self.bytes > self.max_bytes and self._entries:
+            _, (_, evicted_size) = self._entries.popitem(last=False)
+            self.bytes -= evicted_size
+            self.evictions += 1
+        return key in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.bytes = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "bytes": self.bytes,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "rejected": self.rejected,
+        }

@@ -1,0 +1,70 @@
+"""Single-flight request coalescing.
+
+Concurrent identical queries must share one in-flight computation: the
+first arrival becomes the *leader* and actually computes; every request
+that lands on the same key while the leader is in flight becomes a
+*follower* and simply awaits the leader's future.  Keys are the store's
+content addresses (:func:`~repro.sweep.engine.point_key`, artifact
+names + code digest, canonical re-timing request hashes), so "identical
+query" means exactly what the store means by it -- two spellings that
+resolve to the same record coalesce too.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict
+
+
+class SingleFlight:
+    """Key -> one in-flight computation; followers share the result.
+
+    All bookkeeping happens on the event loop between awaits, so the
+    check-then-insert on ``_inflight`` is race-free without locks.
+    Followers await through :func:`asyncio.shield` -- cancelling one
+    waiter must not cancel the computation other requests share.  With
+    ``enabled=False`` (the benchmark's uncoalesced baseline and the
+    ``--no-coalesce`` CLI flag) every caller computes independently.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._inflight: Dict[str, "asyncio.Future[Any]"] = {}
+        #: Requests that joined an existing flight instead of computing.
+        self.coalesced = 0
+        #: Flights actually started (the compute round-trips performed).
+        self.started = 0
+
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    async def run(
+        self, key: str, factory: Callable[[], Awaitable[Any]]
+    ) -> Any:
+        """Return ``factory()``'s result, shared with concurrent callers."""
+        if not self.enabled:
+            self.started += 1
+            return await factory()
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.coalesced += 1
+            return await asyncio.shield(existing)
+        task = asyncio.ensure_future(factory())
+        self._inflight[key] = task
+        self.started += 1
+        try:
+            return await asyncio.shield(task)
+        finally:
+            # The leader unconditionally retires the flight -- success,
+            # failure or cancellation -- so a failed computation is
+            # retried by the next request instead of caching the error.
+            if self._inflight.get(key) is task:
+                del self._inflight[key]
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "enabled": int(self.enabled),
+            "inflight": len(self._inflight),
+            "started": self.started,
+            "coalesced": self.coalesced,
+        }

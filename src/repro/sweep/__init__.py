@@ -44,9 +44,11 @@ from repro.sweep.engine import (
     default_jobs,
     emulation_count,
     keys_progress,
+    lookup_point,
     point_key,
     reset_simulation_count,
     resolve_configs,
+    retime_stack,
     run_point,
     set_compute_budget,
     simulation_count,
@@ -78,6 +80,7 @@ from repro.sweep.store import (
     code_version,
     config_fingerprint,
     default_store,
+    peek_payload,
     shard_store_root,
     stable_hash,
 )
@@ -133,6 +136,7 @@ __all__ = [
     "default_store",
     "emulation_count",
     "keys_progress",
+    "lookup_point",
     "make_executor",
     "run_campaign",
     "fig4_points",
@@ -143,9 +147,11 @@ __all__ = [
     "grid",
     "machine_grid",
     "parse_shard_spec",
+    "peek_payload",
     "point_key",
     "reset_simulation_count",
     "resolve_configs",
+    "retime_stack",
     "run_point",
     "set_compute_budget",
     "shard",

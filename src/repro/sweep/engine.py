@@ -413,6 +413,80 @@ def compute_points(
     return timings  # type: ignore[return-value]
 
 
+def lookup_point(
+    point: SweepPoint, store: Any = _USE_DEFAULT
+) -> Optional[KernelTiming]:
+    """Read-only store lookup of one point; None on a miss.
+
+    The non-blocking read hook the serving layer answers warm queries
+    through: it consults the store via the side-effect-free
+    :meth:`~repro.sweep.store.ResultStore.peek` path and never
+    computes, quarantines or writes anything, so any number of
+    concurrent request handlers can call it while backfills write the
+    same store.
+    """
+    from repro.sweep.store import peek_payload
+
+    if store is _USE_DEFAULT:
+        store = default_store()
+    if store is None:
+        return None
+    payload = peek_payload(store, point_key(point))
+    return None if payload is None else kernel_timing_from_dict(payload)
+
+
+def retime_stack(
+    cols: ColumnarTrace,
+    points: Sequence[SweepPoint],
+    store: Any = _USE_DEFAULT,
+) -> List[KernelTiming]:
+    """Time one shared trace against many points in a single dispatch.
+
+    The serving layer's batched re-timing primitive: every point must
+    share the trace identity ``cols`` was produced from (same kernel,
+    version and seed -- the caller owns that invariant; the machine
+    axis and ablation overrides are exactly what may vary), the whole
+    resolved config stack goes through one
+    :func:`~repro.timing.simulator.simulate_trace_stack` call, and each
+    resulting timing record is persisted under its
+    :func:`point_key` so the interactive exploration a service performs
+    leaves the same store records a sweep would have.
+    """
+    from repro.kernels.registry import KERNELS
+
+    global _SIM_COUNT
+    if store is _USE_DEFAULT:
+        store = default_store()
+    if not points:
+        return []
+    identities = {(p.kernel, p.version, p.seed) for p in points}
+    if len(identities) > 1:
+        raise ValueError(
+            "retime_stack points must share one trace identity, got "
+            f"{sorted(identities)}"
+        )
+    configs = [resolve_configs(p) for p in points]
+    results = simulate_trace_stack(cols, configs)
+    _SIM_COUNT += len(points)
+    timings = []
+    for point, result in zip(points, results):
+        spec = KERNELS[point.kernel]
+        timing = KernelTiming(
+            kernel=point.kernel,
+            version=point.version,
+            way=point.way,
+            result=result,
+            batch=spec.batch,
+            seed=point.seed,
+            machine=point.machine,
+        )
+        payload = kernel_timing_to_dict(timing)
+        if store is not None:
+            save_payload(store, "kernel-timing", point_key(point), payload)
+        timings.append(kernel_timing_from_dict(payload))
+    return timings
+
+
 def _normalise(timing: KernelTiming) -> KernelTiming:
     """Round-trip through the record form.
 

@@ -55,6 +55,10 @@ from repro.timing.simulator import KernelTiming
 #: Bump when the record format changes (invalidates every address).
 SCHEMA_VERSION = 1
 
+#: Version of the :meth:`ResultStore.stats` dict schema (the machine
+#: contract behind ``store stats --json`` and the service ``/metrics``).
+STATS_SCHEMA = 1
+
 #: Environment variable selecting the store root.  An empty value (or
 #: ``off``/``none``/``0``) disables persistence entirely.
 STORE_ENV = "REPRO_STORE"
@@ -119,6 +123,20 @@ def load_payload(store: Optional["ResultStore"], key: str) -> Optional[Any]:
     if store is None:
         return None
     record = store.load(key)
+    return None if record is None else record["payload"]
+
+
+def peek_payload(store: Optional["ResultStore"], key: str) -> Optional[Any]:
+    """Side-effect-free read of the payload under ``key``.
+
+    Unlike :func:`load_payload` this never quarantines a corrupt record
+    -- the read hook the serving layer (:mod:`repro.serve`) uses, where
+    concurrent request handlers must not race each other into deleting
+    evidence (or freshly-written records) out from under ``verify``.
+    """
+    if store is None:
+        return None
+    record = store.peek(key)
     return None if record is None else record["payload"]
 
 
@@ -618,7 +636,16 @@ class ResultStore:
         return report
 
     def stats(self) -> Dict[str, Any]:
-        """Summary of the store contents (counts, bytes, code versions)."""
+        """Summary of the store contents (counts, bytes, code versions).
+
+        The returned dict is a stable, documented schema (version
+        :data:`STATS_SCHEMA`, carried in the ``schema`` key): it is what
+        ``python -m repro store stats --json`` prints and what the
+        serving layer embeds under ``store`` in its ``/metrics``
+        payload, so external monitoring can consume either without
+        parsing human-formatted text.  Existing keys never change
+        meaning within a schema version; additions bump it.
+        """
         by_kind: Dict[str, int] = {}
         code_versions: Dict[str, int] = {}
         records = 0
@@ -640,6 +667,7 @@ class ResultStore:
             else:
                 code_versions[code] = code_versions.get(code, 0) + 1
         return {
+            "schema": STATS_SCHEMA,
             "root": str(self.root),
             "records": records,
             "bytes": total_bytes,

@@ -153,5 +153,5 @@ def test_campaign_cli_matches_dispatch_registry(cli):
     _, verbs = cli
     assert verbs.get("campaign") == {"run", "status", "resume"}
     assert verbs.get("store") == {
-        "merge", "gc", "verify", "stats", "export", "import"
+        "merge", "gc", "verify", "stats", "missing", "export", "import"
     }

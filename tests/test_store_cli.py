@@ -220,3 +220,64 @@ class TestStoreExportImport:
         obstruction.write_text("not a directory")
         assert main(["store", "export", str(obstruction / "x.tar.gz")]) == 1
         assert "failed" in capsys.readouterr().out
+
+
+class TestStoreStatsJson:
+    def test_json_flag_emits_schema_stamped_mapping(self, capsys, store_env):
+        _seed_store(store_env)
+        assert main(["store", "stats", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        # The stable machine contract scripts and /metrics rely on.
+        assert stats["schema"] == 1
+        assert stats["records"] == 3
+        assert stats["by_kind"] == {"test": 3}
+        assert set(stats) >= {
+            "schema", "root", "records", "bytes", "by_kind",
+            "code_versions", "current_code", "unstamped", "corrupt",
+        }
+
+    def test_json_output_is_pure_json(self, capsys, store_env):
+        _seed_store(store_env)
+        assert main(["store", "stats", "--json"]) == 0
+        out = capsys.readouterr().out
+        # No prose mixed in: the whole stdout must parse.
+        json.loads(out)
+
+
+class TestStoreMissing:
+    def test_complete_axes_exit_zero(self, capsys, store_env):
+        from repro.sweep import SweepPoint, run_point
+
+        run_point(
+            SweepPoint(kernel="addblock", version="mmx64", way=2),
+            store=ResultStore(store_env),
+        )
+        assert main([
+            "store", "missing",
+            "--kernels", "addblock", "--machines", "mmx64", "--ways", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 points present, 0 missing" in out
+
+    def test_incomplete_axes_exit_two_listing_keys(self, capsys, store_env):
+        from repro.sweep import SweepPoint, point_key
+
+        _seed_store(store_env)  # unrelated records only
+        assert main([
+            "store", "missing",
+            "--kernels", "addblock", "--machines", "mmx64", "--ways", "2,4",
+        ]) == 2
+        out = capsys.readouterr().out
+        assert "0/2 points present, 2 missing" in out
+        key = point_key(SweepPoint(kernel="addblock", version="mmx64", way=2))
+        assert key in out and "addblock/mmx64/2way" in out
+
+    def test_grid_flag_names_known_grids(self, capsys, store_env):
+        assert main(["store", "missing", "--grid", "nope"]) == 1
+        assert "unknown grid" in capsys.readouterr().out
+
+    def test_bad_axis_values_exit_one(self, capsys, store_env):
+        assert main(["store", "missing", "--kernels", "nope"]) == 1
+        assert "unknown kernel" in capsys.readouterr().out
+        assert main(["store", "missing", "--ways", "x"]) == 1
+        assert "integers" in capsys.readouterr().out

@@ -134,6 +134,7 @@ def _cmd_sweep(args) -> int:
         default_store,
         machine_grid,
         parse_shard_spec,
+        read_points_file,
         shard_store_root,
         sweep,
     )
@@ -169,7 +170,31 @@ def _cmd_sweep(args) -> int:
         print("--isas and --machines name the same axis; pass only one")
         return 1
 
-    if args.grid:
+    if args.points_file is not None:
+        overridden = [
+            flag
+            for flag, value, default in (
+                ("--grid", args.grid, None),
+                ("--kernels", args.kernels, "all"),
+                ("--isas", args.isas, "all"),
+                ("--machines", args.machines, None),
+                ("--ways", args.ways, "all"),
+                ("--seeds", args.seeds, "0"),
+            )
+            if value != default
+        ]
+        if overridden:
+            print(
+                f"--points-file carries its own point list; "
+                f"drop {', '.join(overridden)}"
+            )
+            return 1
+        try:
+            points = read_points_file(args.points_file)
+        except (OSError, ValueError) as exc:
+            print(f"--points-file: {exc}")
+            return 1
+    elif args.grid:
         if args.grid not in GRIDS:
             print(f"unknown grid {args.grid!r}; available: {', '.join(GRIDS)}")
             return 1
@@ -612,9 +637,12 @@ def _campaign_manifest_from_args(args):
             kwargs["ways"] = tuple(int(w) for w in _split(args.ways))
         if args.seeds:
             kwargs["seeds"] = tuple(int(s) for s in _split(args.seeds))
+        if args.hosts:
+            kwargs["hosts"] = _split(args.hosts)
         for name, value in (
             ("shards", args.shards),
             ("executor", args.executor),
+            ("transport", args.transport),
             ("jobs", args.jobs),
             ("max_attempts", args.retries),
         ):
@@ -644,6 +672,18 @@ def _cmd_campaign(args) -> int:
         run_campaign,
     )
 
+    # Supervision flags are durations: zero or negative values would
+    # either kill every attempt instantly or spin the poll loop, so
+    # reject them by name (the $REPRO_JOBS precedent).
+    for flag, value in (
+        ("--timeout", args.timeout),
+        ("--poll-interval", args.poll_interval),
+        ("--heartbeat-window", args.heartbeat_window),
+    ):
+        if value is not None and value <= 0:
+            print(f"{flag} takes a positive number of seconds, got {value}")
+            return 1
+
     manifest, error = _campaign_manifest_from_args(args)
     if manifest is None:
         print(error)
@@ -653,6 +693,10 @@ def _cmd_campaign(args) -> int:
     overrides = {}
     if args.executor is not None:
         overrides["executor"] = args.executor
+    if args.hosts:
+        overrides["hosts"] = _split(args.hosts)
+    if args.transport is not None:
+        overrides["transport"] = args.transport
     if args.jobs is not None:
         overrides["jobs"] = args.jobs
     if args.retries is not None:
@@ -695,7 +739,15 @@ def _cmd_campaign(args) -> int:
             print(line)
 
     try:
-        executor = make_executor(manifest.executor)
+        executor = make_executor(
+            manifest.executor,
+            hosts=manifest.hosts,
+            transport=manifest.transport,
+            root=manifest.root,
+            poll_interval=args.poll_interval,
+            timeout=args.timeout,
+            heartbeat_window=args.heartbeat_window,
+        )
         report = run_campaign(manifest, executor=executor, echo=echo)
     except CampaignError as exc:
         print(exc)
@@ -813,6 +865,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated machine widths (default: 2,4,8)")
     sweep.add_argument("--seeds", default="0",
                        help="comma-separated workload seeds (default: 0)")
+    sweep.add_argument("--points-file", default=None, metavar="FILE",
+                       help="JSON point list written by the campaign "
+                            "rebalancer (see write_points_file); replaces "
+                            "--grid and the axis flags")
     sweep.add_argument("--jobs", type=int, default=None, metavar="N",
                        help="parallel worker processes (default: $REPRO_JOBS or 1)")
     sweep.add_argument("--store", default=None, metavar="PATH",
@@ -937,8 +993,21 @@ def build_parser() -> argparse.ArgumentParser:
             help="number of shards to split the campaign into (default: 2)")
         verb_parser.add_argument(
             "--executor", default=None, metavar="NAME",
-            help="shard launcher: 'local' (in-process, default) or "
-                 "'subprocess' (one python -m repro sweep worker per shard)")
+            help="shard launcher: 'local' (in-process, default), "
+                 "'subprocess' (one python -m repro sweep worker per "
+                 "shard), 'ssh' (workers on fleet hosts; needs --hosts) "
+                 "or 'kubernetes' (stub; needs an injected transport)")
+        verb_parser.add_argument(
+            "--hosts", default=None, metavar="A,B,C",
+            help="comma-separated fleet hosts for remote executors "
+                 "(anything your ssh config resolves; shards round-robin "
+                 "over them and dead hosts' work rebalances onto "
+                 "survivors)")
+        verb_parser.add_argument(
+            "--transport", default=None, metavar="NAME",
+            help="how remote executors reach hosts: 'ssh' (default) or "
+                 "'loopback' (hosts are local scratch directories -- "
+                 "exercises the full fleet path with zero infrastructure)")
         verb_parser.add_argument(
             "--jobs", type=int, default=None, metavar="N",
             help="worker processes per shard sweep (default: 1)")
@@ -946,6 +1015,19 @@ def build_parser() -> argparse.ArgumentParser:
             "--retries", type=int, default=None, metavar="K",
             help="maximum attempts per shard before the campaign fails "
                  "(default: 3; every attempt resumes, never recomputes)")
+        verb_parser.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="kill a shard attempt that runs longer than this "
+                 "(default: no wall-clock limit)")
+        verb_parser.add_argument(
+            "--poll-interval", type=float, default=None, metavar="SECONDS",
+            help="supervision poll cadence for worker executors "
+                 "(default: 0.5)")
+        verb_parser.add_argument(
+            "--heartbeat-window", type=float, default=None, metavar="SECONDS",
+            help="declare a worker attempt dead when its checkpoint "
+                 "record goes this long without an mtime update "
+                 "(default: no heartbeat supervision)")
         verb_parser.add_argument(
             "--quiet", action="store_true",
             help="only print the final campaign summary")

@@ -58,6 +58,12 @@ class ApiError(Exception):
         self.message = message
 
 
+#: Advisory poll interval (seconds, as an HTTP header value) sent with
+#: every 202 backfill response.  Matches the job queue's typical
+#: single-point compute time; clients may poll sooner, this is a hint.
+RETRY_AFTER_SECONDS = "2"
+
+
 @dataclass
 class Response:
     """One endpoint's answer, ready for the HTTP layer."""
@@ -179,7 +185,11 @@ class Api:
             "missing": missing,
             "poll": f"/v1/jobs/{job.key}",
         })
-        return _json_response(202, payload, source="backfill")
+        response = _json_response(202, payload, source="backfill")
+        # 202 means "poll /v1/jobs/<key>"; well-behaved clients honour
+        # Retry-After instead of hammering the poll URL in a tight loop.
+        response.headers.append(("Retry-After", RETRY_AFTER_SECONDS))
+        return response
 
     # -- endpoints ---------------------------------------------------------
 

@@ -12,7 +12,11 @@ object:
   with deterministic chunking, warm-starting from the store;
 * :mod:`repro.sweep.dispatch` -- the campaign orchestrator: shard a
   grid across pluggable executors, supervise/retry the workers, and
-  merge + verify + promote the per-shard stores.
+  merge + verify + promote the per-shard stores;
+* :mod:`repro.sweep.remote` / :mod:`repro.sweep.transport` -- the
+  multi-host tier: ssh (and stub k8s) executors dispatching shards over
+  pluggable transports, with heartbeat supervision, tarballed store
+  shipping and elastic rebalancing of dead hosts' unfinished work.
 
 ``python -m repro sweep`` and ``python -m repro campaign`` are the CLI
 front ends.
@@ -28,9 +32,23 @@ from repro.sweep.dispatch import (
     ShardStatus,
     SubprocessExecutor,
     campaign_status,
+    load_fleet,
     make_executor,
     run_campaign,
     shard_command,
+)
+from repro.sweep.remote import (
+    KubernetesExecutor,
+    RemoteExecutor,
+    SshExecutor,
+)
+from repro.sweep.transport import (
+    LoopbackTransport,
+    SshTransport,
+    TRANSPORTS,
+    Transport,
+    TransportError,
+    resolve_transport,
 )
 from repro.sweep.engine import (
     ShardProgress,
@@ -60,6 +78,9 @@ from repro.sweep.points import (
     GRIDS,
     SweepPoint,
     dedupe,
+    point_from_dict,
+    read_points_file,
+    reshard_keys,
     shard_assignment,
     fig4_points,
     fig5_points,
@@ -70,6 +91,7 @@ from repro.sweep.points import (
     machine_grid,
     parse_shard_spec,
     shard,
+    write_points_file,
 )
 from repro.sweep.store import (
     GcStats,
@@ -83,6 +105,7 @@ from repro.sweep.store import (
     peek_payload,
     shard_store_root,
     stable_hash,
+    store_from_root,
 )
 
 
@@ -105,22 +128,30 @@ def clear_memory_caches() -> None:
 
 __all__ = [
     "GRIDS",
+    "TRANSPORTS",
     "CampaignError",
     "CampaignManifest",
     "CampaignReport",
     "Executor",
     "GcStats",
     "ImportStats",
+    "KubernetesExecutor",
     "LocalExecutor",
+    "LoopbackTransport",
     "MergeStats",
+    "RemoteExecutor",
     "ResultStore",
     "ShardOutcome",
     "ShardProgress",
     "ShardStatus",
+    "SshExecutor",
+    "SshTransport",
     "SubprocessExecutor",
     "SweepInterrupted",
     "SweepPoint",
     "SweepReport",
+    "Transport",
+    "TransportError",
     "VerifyReport",
     "acquire_trace",
     "campaign_status",
@@ -136,8 +167,13 @@ __all__ = [
     "default_store",
     "emulation_count",
     "keys_progress",
+    "load_fleet",
     "lookup_point",
     "make_executor",
+    "point_from_dict",
+    "read_points_file",
+    "reshard_keys",
+    "resolve_transport",
     "run_campaign",
     "fig4_points",
     "fig5_points",

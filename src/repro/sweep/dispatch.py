@@ -61,7 +61,6 @@ from repro.sweep.engine import (
 )
 from repro.sweep.points import SweepPoint, dedupe, shard_assignment
 from repro.sweep.store import (
-    STORE_ENV,
     ResultStore,
     shard_store_root,
 )
@@ -82,6 +81,11 @@ STAGING_DIR = "merged.staging"
 
 #: Per-shard log directory under the campaign root.
 LOG_DIR = "logs"
+
+#: Fleet-state file a remote executor maintains under the campaign root
+#: (which host ran which shard, who is dead).  Telemetry for
+#: ``campaign status`` -- never consulted as truth.
+FLEET_NAME = "fleet.json"
 
 #: Environment variable naming where default campaign roots live.
 CAMPAIGN_HOME_ENV = "REPRO_CAMPAIGN_HOME"
@@ -125,6 +129,13 @@ class CampaignManifest:
     same defaults the CLI uses (all kernels, the four paper ISAs, the
     paper's ways, seed 0) at construction time, so the manifest on disk
     is always explicit.
+
+    ``hosts`` and ``transport`` are the fleet policy the remote
+    executors read: the host list shards are dispatched over, and the
+    registered transport name (see
+    :data:`repro.sweep.transport.TRANSPORTS`) that reaches them.  Like
+    the executor they are policy, not identity -- the same campaign may
+    resume on a different fleet.
     """
 
     root: str
@@ -137,6 +148,8 @@ class CampaignManifest:
     executor: str = "local"
     jobs: int = 1
     max_attempts: int = 3
+    hosts: Tuple[str, ...] = ()
+    transport: str = "ssh"
 
     def __post_init__(self) -> None:
         if not isinstance(self.shards, int) or isinstance(self.shards, bool) \
@@ -155,6 +168,21 @@ class CampaignManifest:
             raise CampaignError(
                 f"unknown executor {self.executor!r}; "
                 f"available: {', '.join(sorted(EXECUTORS))}"
+            )
+        object.__setattr__(
+            self, "hosts", tuple(str(h) for h in self.hosts if str(h).strip())
+        )
+        from repro.sweep.transport import TRANSPORTS
+
+        if self.transport not in TRANSPORTS:
+            raise CampaignError(
+                f"unknown transport {self.transport!r}; available: "
+                f"{', '.join(sorted(TRANSPORTS))}"
+            )
+        if self.executor in REMOTE_EXECUTORS and not self.hosts:
+            raise CampaignError(
+                f"the {self.executor} executor needs hosts; pass "
+                "--hosts a,b,c or set \"hosts\" in the campaign manifest"
             )
         object.__setattr__(self, "kernels", tuple(self.kernels))
         object.__setattr__(self, "machines", tuple(self.machines))
@@ -219,6 +247,8 @@ class CampaignManifest:
             "executor": self.executor,
             "jobs": self.jobs,
             "max_attempts": self.max_attempts,
+            "hosts": list(self.hosts),
+            "transport": self.transport,
         }
 
     @classmethod
@@ -243,6 +273,8 @@ class CampaignManifest:
                 executor=data.get("executor", "local"),
                 jobs=data.get("jobs", 1),
                 max_attempts=data.get("max_attempts", 3),
+                hosts=tuple(data.get("hosts", ())),
+                transport=data.get("transport", "ssh"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise CampaignError(f"invalid campaign manifest: {exc}") from exc
@@ -354,6 +386,8 @@ class ShardOutcome:
     ok: bool
     elapsed: float = 0.0
     error: Optional[str] = None
+    #: Fleet host the attempt ran on (remote executors only).
+    host: Optional[str] = None
 
 
 class Executor:
@@ -403,15 +437,20 @@ class LocalExecutor(Executor):
         for index in indices:
             start = time.monotonic()
             log(index, f"local attempt starting (jobs={manifest.jobs})")
-            previous = os.environ.get(STORE_ENV)
-            os.environ[STORE_ENV] = str(manifest.shard_root(index))
             try:
                 clear_memory_caches()
+                # The shard's store travels as an argument, never via
+                # os.environ[STORE_ENV]: mutating the process-global
+                # environment raced with any concurrent store user in
+                # this process (a repro.serve backfill resolving
+                # default_store() mid-shard would read -- or write --
+                # the wrong store).
                 report = sweep(
                     points,
                     jobs=manifest.jobs,
                     shard=(index, manifest.shards),
                     resume=True,
+                    store_root=str(manifest.shard_root(index)),
                 )
                 outcomes[index] = ShardOutcome(
                     index, True, elapsed=time.monotonic() - start
@@ -426,22 +465,23 @@ class LocalExecutor(Executor):
                 )
                 log(index, f"local attempt FAILED: {type(exc).__name__}: {exc}")
             finally:
-                if previous is None:
-                    os.environ.pop(STORE_ENV, None)
-                else:
-                    os.environ[STORE_ENV] = previous
                 clear_memory_caches()
         return outcomes
 
 
-def shard_command(manifest: CampaignManifest, index: int) -> List[str]:
+def shard_command(
+    manifest: CampaignManifest, index: int,
+    store_root: Optional[str] = None,
+) -> List[str]:
     """The worker command line for shard ``index`` of ``manifest``.
 
     Exactly what a human would type on the worker host: the axes are
     spelled the way ``python -m repro sweep`` takes them, ``--resume``
     makes retries free, and ``--store-root`` routes the shard into the
     campaign layout ``store merge`` expects.  Remote executors run this
-    verbatim.
+    verbatim -- passing ``store_root`` to aim the worker at a scratch
+    campaign root on *its* filesystem (the store comes back by tarball,
+    not by shared disk).
     """
     cmd = [sys.executable, "-m", "repro", "sweep"]
     if manifest.grid is not None:
@@ -451,9 +491,11 @@ def shard_command(manifest: CampaignManifest, index: int) -> List[str]:
         cmd += ["--machines", ",".join(manifest.machines)]
         cmd += ["--ways", ",".join(str(w) for w in manifest.ways)]
         cmd += ["--seeds", ",".join(str(s) for s in manifest.seeds)]
+    if store_root is None:
+        store_root = str(Path(os.path.expanduser(str(manifest.root))))
     cmd += [
         "--shard", f"{index + 1}/{manifest.shards}",
-        "--store-root", str(Path(os.path.expanduser(str(manifest.root)))),
+        "--store-root", store_root,
         "--resume",
         "--jobs", str(manifest.jobs),
         "--quiet",
@@ -470,27 +512,68 @@ class SubprocessExecutor(Executor):
     heartbeat lines to the shard log.  ``timeout`` (seconds, wall
     clock per attempt) kills a runaway worker so the retry loop can
     take over; worker stdout/stderr stream into the shard log.
+
+    ``heartbeat_window`` (seconds) bounds checkpoint silence: a worker
+    whose checkpoint record has not been touched for longer is killed
+    and the attempt declared dead.  Crucially the window also applies
+    *before the first checkpoint exists*: a worker that hangs during
+    import or trace emulation never writes one, which used to make it
+    invisible to mtime-based heartbeats entirely -- only a wall-clock
+    ``timeout`` (sized for the whole shard, not one point) would ever
+    fire.  The first-heartbeat grace deadline closes that blind spot.
     """
 
     name = "subprocess"
 
     def __init__(
-        self, poll_interval: float = 0.5, timeout: Optional[float] = None
+        self,
+        poll_interval: float = 0.5,
+        timeout: Optional[float] = None,
+        heartbeat_window: Optional[float] = None,
     ) -> None:
         self.poll_interval = poll_interval
         self.timeout = timeout
+        self.heartbeat_window = heartbeat_window
 
     def _worker_env(self) -> Dict[str, str]:
         """Child environment: the running ``repro`` wins the import race."""
-        import repro
+        from repro.sweep.transport import worker_env
 
-        env = os.environ.copy()
-        src_root = str(Path(repro.__file__).resolve().parent.parent)
-        extra = env.get("PYTHONPATH", "")
-        env["PYTHONPATH"] = (
-            src_root + os.pathsep + extra if extra else src_root
+        return worker_env()
+
+    def _overdue(self, manifest, index, keys, elapsed) -> Optional[str]:
+        """Why the still-running shard ``index`` must be killed, or None."""
+        if self.timeout is not None and elapsed > self.timeout:
+            return f"timed out after {self.timeout:.0f}s (killed)"
+        if self.heartbeat_window is None:
+            return None
+        from repro.sweep.engine import checkpoint_key
+
+        store = ResultStore(manifest.shard_root(index))
+        path = store.path_for(
+            checkpoint_key(keys, (index, manifest.shards))
         )
-        return env
+        try:
+            beat = path.stat().st_mtime
+        except OSError:
+            beat = None
+        if beat is None:
+            if elapsed > self.heartbeat_window:
+                return (
+                    f"no first heartbeat within "
+                    f"{self.heartbeat_window:.1f}s of launch (worker wrote "
+                    "no checkpoint -- hung during import or trace "
+                    "emulation); attempt declared dead"
+                )
+            return None
+        age = time.time() - beat
+        if age > self.heartbeat_window:
+            return (
+                f"heartbeat stalled: checkpoint untouched for {age:.1f}s "
+                f"(window {self.heartbeat_window:.1f}s); attempt "
+                "declared dead"
+            )
+        return None
 
     def run_shards(self, manifest, indices, points, log):
         assignment = shard_assignment(points, manifest.shards)
@@ -516,15 +599,16 @@ class SubprocessExecutor(Executor):
                     returncode = proc.poll()
                     elapsed = time.monotonic() - started[index]
                     if returncode is None:
-                        if self.timeout is not None and elapsed > self.timeout:
+                        why = self._overdue(
+                            manifest, index, keys[index], elapsed
+                        )
+                        if why is not None:
                             proc.kill()
                             proc.wait()
                             outcomes[index] = ShardOutcome(
-                                index, False, elapsed=elapsed,
-                                error=f"timed out after {self.timeout:.0f}s "
-                                      "(killed)",
+                                index, False, elapsed=elapsed, error=why,
                             )
-                            log(index, outcomes[index].error)
+                            log(index, why)
                             del procs[index]
                             continue
                         self._heartbeat(manifest, index, keys[index], log,
@@ -564,22 +648,82 @@ class SubprocessExecutor(Executor):
         last_beat[index] = (now, progress.present)
 
 
+def _make_local(**options: Any) -> Executor:
+    return LocalExecutor()
+
+
+def _supervision_kwargs(options: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        key: options[key]
+        for key in ("poll_interval", "timeout", "heartbeat_window")
+        if options.get(key) is not None
+    }
+
+
+def _make_subprocess(**options: Any) -> Executor:
+    return SubprocessExecutor(**_supervision_kwargs(options))
+
+
+def _make_remote(executor_name: str, **options: Any) -> Executor:
+    from repro.sweep import remote
+    from repro.sweep.transport import resolve_transport
+
+    cls = {
+        "ssh": remote.SshExecutor,
+        "kubernetes": remote.KubernetesExecutor,
+    }[executor_name]
+    try:
+        transport = resolve_transport(
+            options.get("transport"), root=options.get("root")
+        )
+    except ValueError as exc:
+        raise CampaignError(str(exc)) from None
+    return cls(
+        hosts=options.get("hosts") or (),
+        transport=transport,
+        **_supervision_kwargs(options),
+    )
+
+
+def _make_ssh(**options: Any) -> Executor:
+    return _make_remote("ssh", **options)
+
+
+def _make_kubernetes(**options: Any) -> Executor:
+    return _make_remote("kubernetes", **options)
+
+
 #: Executor registry: the manifest's ``executor`` field resolves here.
-EXECUTORS: Dict[str, Callable[[], Executor]] = {
-    LocalExecutor.name: LocalExecutor,
-    SubprocessExecutor.name: SubprocessExecutor,
+#: The remote executors are registered through lazy factories so the
+#: dispatch module (which :mod:`repro.sweep.remote` imports from) never
+#: imports them at module load.
+EXECUTORS: Dict[str, Callable[..., Executor]] = {
+    "local": _make_local,
+    "subprocess": _make_subprocess,
+    "ssh": _make_ssh,
+    "kubernetes": _make_kubernetes,
 }
 
+#: Executor names that dispatch shards to fleet hosts (and therefore
+#: require a host list in the manifest).
+REMOTE_EXECUTORS = ("ssh", "kubernetes")
 
-def make_executor(name: str) -> Executor:
-    """Instantiate the registered executor ``name`` (CampaignError if none)."""
+
+def make_executor(name: str, **options: Any) -> Executor:
+    """Instantiate the registered executor ``name`` (CampaignError if none).
+
+    ``options`` is the pooled policy vocabulary -- ``poll_interval``,
+    ``timeout``, ``heartbeat_window``, ``hosts``, ``transport``,
+    ``root`` -- from which each executor takes what it understands
+    (``local`` takes nothing); ``None`` values mean "executor default".
+    """
     factory = EXECUTORS.get(name)
     if factory is None:
         raise CampaignError(
             f"unknown executor {name!r}; available: "
             f"{', '.join(sorted(EXECUTORS))}"
         )
-    return factory()
+    return factory(**options)
 
 
 # ---------------------------------------------------------------------------
@@ -599,9 +743,13 @@ class ShardStatus:
     state: str = "pending"
     attempts: int = 0
     error: Optional[str] = None
+    #: Fleet host the shard last ran on (remote executors only).
+    host: Optional[str] = None
 
     def summary(self) -> str:
         text = f"shard {self.index + 1}: {self.state}, {self.progress.summary()}"
+        if self.host:
+            text += f", on {self.host}"
         if self.attempts:
             text += f", {self.attempts} attempt(s)"
         if self.error:
@@ -653,6 +801,31 @@ def _shard_keys(manifest: CampaignManifest) -> List[List[str]]:
         [point_key(p) for p in piece]
         for piece in shard_assignment(points, manifest.shards)
     ]
+
+
+def load_fleet(manifest: CampaignManifest) -> Optional[Dict[str, Any]]:
+    """The ``<root>/fleet.json`` a remote executor maintains, if any.
+
+    Telemetry only (host column for ``campaign status``): a missing or
+    malformed file is simply "no fleet information", never an error.
+    """
+    path = Path(os.path.expanduser(str(manifest.root))) / FLEET_NAME
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def _fleet_host(fleet: Optional[Dict[str, Any]], index: int) -> Optional[str]:
+    if fleet is None:
+        return None
+    entry = fleet.get("shards", {}).get(str(index + 1))
+    if isinstance(entry, dict):
+        host = entry.get("host")
+        return str(host) if host else None
+    return None
 
 
 def _make_logger(manifest: CampaignManifest, echo: Optional[EchoFn]):
@@ -707,6 +880,7 @@ def campaign_status(manifest: CampaignManifest) -> CampaignReport:
     """
     keys = _shard_keys(manifest)
     report = CampaignReport(manifest=manifest)
+    fleet = load_fleet(manifest)
     for index in range(manifest.shards):
         progress = keys_progress(
             ResultStore(manifest.shard_root(index)), keys[index],
@@ -718,6 +892,7 @@ def campaign_status(manifest: CampaignManifest) -> CampaignReport:
                 store_root=str(manifest.shard_root(index)),
                 progress=progress,
                 state="complete" if progress.done else "pending",
+                host=_fleet_host(fleet, index),
             )
         )
     merged = manifest.merged_root()
@@ -801,10 +976,16 @@ def run_campaign(
     manifest.validate()
     manifest = ensure_manifest(manifest)
     if executor is None:
-        executor = make_executor(manifest.executor)
+        executor = make_executor(
+            manifest.executor,
+            hosts=manifest.hosts,
+            transport=manifest.transport,
+            root=manifest.root,
+        )
     log = _make_logger(manifest, echo)
     points = manifest.points()
-    keys = _shard_keys(manifest)
+    assignment = shard_assignment(points, manifest.shards)
+    keys = [[point_key(p) for p in piece] for piece in assignment]
     report = CampaignReport(manifest=manifest)
 
     def refresh(index: int) -> ShardProgress:
@@ -841,7 +1022,33 @@ def run_campaign(
             outcome = outcomes.get(index)
             if outcome is not None and outcome.error:
                 status.error = outcome.error
+            if outcome is not None and outcome.host:
+                status.host = outcome.host
             status.progress = refresh(index)
+            if not status.progress.done and getattr(executor, "elastic", False):
+                # Elastic rebalancing: the attempt's host is dead (or
+                # its worker died), its partial store has been shipped
+                # back, so re-shard only the *unfinished* point keys
+                # over the surviving hosts instead of burning a retry
+                # on the fixed assignment.
+                survivors = executor.live_hosts()
+                unfinished = ResultStore(
+                    manifest.shard_root(index)
+                ).missing(keys[index])
+                if survivors and unfinished:
+                    from repro.sweep.points import reshard_keys
+
+                    log(
+                        index,
+                        f"rebalancing {len(unfinished)} unfinished "
+                        f"point(s) onto {len(survivors)} surviving "
+                        f"host(s): {', '.join(survivors)}",
+                    )
+                    pieces = reshard_keys(
+                        assignment[index], unfinished, len(survivors)
+                    )
+                    executor.run_subsets(manifest, index, pieces, log)
+                    status.progress = refresh(index)
             if status.progress.done:
                 status.state = "complete"
                 status.error = None

@@ -32,6 +32,7 @@ from repro.sweep.store import (
     load_payload,
     record_key,
     save_payload,
+    store_from_root,
     trace_from_payload,
     trace_to_payload,
 )
@@ -70,6 +71,17 @@ _TRACE_MEMO_MAXSIZE = 32
 #: reproducible place.
 _COMPUTE_BUDGET: Optional[int] = None
 
+#: Deterministic fault injection for the campaign failover tests:
+#: ``REPRO_FAULT_SHARD=i:after_K`` makes the worker running shard ``i``
+#: (1-based, matching ``--shard i/N``) die with :class:`SweepInterrupted`
+#: after ``K`` computed points; ``i:hang`` makes it hang before writing
+#: its first checkpoint (exactly the worker a first-heartbeat grace
+#: deadline must catch).  Workers running without a shard spec --
+#: including the rebalanced ``--points-file`` subsets an elastic
+#: executor dispatches -- never match, so an injected fault kills its
+#: target exactly once.
+FAULT_ENV = "REPRO_FAULT_SHARD"
+
 ProgressFn = Callable[[int, int, SweepPoint, str], None]
 
 
@@ -92,6 +104,69 @@ def set_compute_budget(budget: Optional[int]) -> Optional[int]:
     previous = _COMPUTE_BUDGET
     _COMPUTE_BUDGET = budget
     return previous
+
+
+def _shard_fault(shard: Optional[Tuple[int, int]]) -> Optional[Any]:
+    """The injected fault targeting this shard spec, if any.
+
+    Parses :data:`FAULT_ENV` and returns ``"hang"``, a non-negative
+    point budget (the ``after_K`` form), or ``None`` when no fault is
+    configured or it targets a different shard.  Malformed values raise
+    :class:`ValueError` naming ``REPRO_FAULT_SHARD`` and the offending
+    value immediately -- a fault hook that silently fails to fire would
+    make the failover tests prove nothing.
+    """
+    import os
+
+    raw = os.environ.get(FAULT_ENV)
+    if raw is None or not raw.strip():
+        return None
+    text = raw.strip()
+    ordinal_text, sep, action = text.partition(":")
+    try:
+        ordinal = int(ordinal_text)
+    except ValueError:
+        ordinal = 0
+    if not sep or ordinal < 1:
+        raise ValueError(
+            f"{FAULT_ENV} takes i:after_K or i:hang with a 1-based shard "
+            f"ordinal, got {raw!r}"
+        )
+    if action == "hang":
+        fault: Any = "hang"
+    elif action.startswith("after_"):
+        try:
+            budget = int(action[len("after_"):])
+        except ValueError:
+            budget = -1
+        if budget < 0:
+            raise ValueError(
+                f"{FAULT_ENV} after_K needs a non-negative integer K, "
+                f"got {raw!r}"
+            )
+        fault = budget
+    else:
+        raise ValueError(
+            f"{FAULT_ENV} action must be after_K or hang, got {raw!r}"
+        )
+    if shard is None or shard[0] != ordinal - 1:
+        return None
+    return fault
+
+
+def _hang_forever(shard: Tuple[int, int]) -> None:  # pragma: no cover
+    """Injected ``hang`` fault: block before the first checkpoint write.
+
+    Models a worker stuck in import or trace emulation -- alive as a
+    process, silent as a store -- which is exactly the state a
+    supervisor's first-heartbeat grace deadline exists to catch.  Only
+    ever reached in fault-injected subprocess workers, which their
+    supervisor kills.
+    """
+    import time as _time
+
+    while True:
+        _time.sleep(0.5)
 
 
 def default_jobs() -> int:
@@ -517,15 +592,21 @@ def run_point(
     return kernel_timing_from_dict(payload)
 
 
-def _worker_chunk(points: Sequence[SweepPoint]) -> Dict[str, Any]:
+def _worker_chunk(
+    points: Sequence[SweepPoint], store_root: Optional[str] = None
+) -> Dict[str, Any]:
     """Process-pool worker: simulate a contiguous chunk of cold points.
 
+    The parent's store choice arrives as ``store_root`` -- data, not
+    environment -- so every worker reads/writes exactly the store the
+    calling :func:`sweep` resolved, whatever the child environment says.
     Also reports how many *emulations* the chunk performed (workers are
     reused across chunks, so the count is a delta), letting the parent
     keep :func:`emulation_count` truthful for pooled sweeps.
     """
+    store = store_from_root(store_root)
     emulations_before = _EMU_COUNT
-    payloads = [kernel_timing_to_dict(t) for t in compute_points(points)]
+    payloads = [kernel_timing_to_dict(t) for t in compute_points(points, store)]
     return {"payloads": payloads, "emulations": _EMU_COUNT - emulations_before}
 
 
@@ -568,6 +649,7 @@ class SweepReport:
         where = self.store_root or "<no store>"
         text = (
             f"{self.total} points: {self.simulated} simulated, "
+            f"{self.emulated} emulated, "
             f"{self.cached} from store ({where}), jobs={self.jobs}"
         )
         if self.shard is not None:
@@ -721,6 +803,7 @@ def sweep(
     progress: Optional[ProgressFn] = None,
     shard: Optional[Tuple[int, int]] = None,
     resume: bool = False,
+    store_root: Optional[Any] = None,
 ) -> SweepReport:
     """Evaluate every point, warm-starting from the store.
 
@@ -730,6 +813,15 @@ def sweep(
     also published into :mod:`repro.timing.simulator`'s in-process memo
     so the experiment code that follows a prefetch sweep hits memory,
     not disk.
+
+    The store may be given three ways: ``store`` (a
+    :class:`~repro.sweep.store.ResultStore` or ``None`` for no
+    persistence), ``store_root`` (a path string resolved through
+    :func:`~repro.sweep.store.store_from_root` and threaded to pooled
+    workers *as data*, never via the process environment -- what an
+    orchestrator running next to other store users in one process must
+    use), or neither (the ``REPRO_STORE`` default).  Passing both is an
+    error.
 
     ``shard=(index, count)`` restricts the call to one deterministic
     shard of the (deduplicated) point list -- see
@@ -749,6 +841,10 @@ def sweep(
     supervision and merge + verify + promote on top of exactly this
     entry point.
     """
+    if store_root is not None:
+        if store is not _USE_DEFAULT:
+            raise ValueError("sweep() takes store or store_root, not both")
+        store = store_from_root(store_root)
     if store is _USE_DEFAULT:
         store = default_store()
     points = dedupe(points)
@@ -759,6 +855,31 @@ def sweep(
             "sweep(resume=True) needs a result store to checkpoint into; "
             "the store is disabled (REPRO_STORE=off?)"
         )
+    fault = _shard_fault(shard)
+    if fault == "hang":
+        _hang_forever(shard)  # pragma: no cover - killed by supervisor
+    if fault is None:
+        return _run_sweep(points, jobs, store, progress, shard, resume)
+    # after_K: die (SweepInterrupted) after K computed points, through
+    # the same budget hook the in-process resume tests use.  The budget
+    # is restored even if the fault never fires (K >= misses).
+    previous = _COMPUTE_BUDGET
+    set_compute_budget(fault if previous is None else min(previous, fault))
+    try:
+        return _run_sweep(points, jobs, store, progress, shard, resume)
+    finally:
+        set_compute_budget(previous)
+
+
+def _run_sweep(
+    points: Sequence[SweepPoint],
+    jobs: int,
+    store: Any,
+    progress: Optional[ProgressFn],
+    shard: Optional[Tuple[int, int]],
+    resume: bool,
+) -> SweepReport:
+    """:func:`sweep` after store/shard/fault resolution (see there)."""
     total = len(points)
     keys = [point_key(p) for p in points] if store is not None else [None] * total
     checkpoint = _Checkpoint(store, keys, shard) if resume else None
@@ -802,27 +923,26 @@ def sweep(
     if misses:
         # Batch-emulate every missing trace up front (one vectorised
         # pass per kernel version) so neither pooled workers nor the
-        # inline path fall back to record-at-a-time emulation.  Trace
-        # records go through the *default* store here for the same
-        # jobs-parity reason as the inline fallback below.
-        acquire_traces(misses)
+        # inline path fall back to record-at-a-time emulation.  The
+        # resolved ``store`` is threaded explicitly here and to the
+        # pooled workers below (as a root string, reconstructed per
+        # worker), so the jobs-parity guarantee -- store trees
+        # byte-identical for any ``jobs`` -- holds for *whichever*
+        # store the caller selected, without ever mutating the process
+        # environment.
+        acquire_traces(misses, store)
+        worker_root = str(store.root) if store is not None else None
         pending = list(zip(misses, miss_keys))
         if jobs > 1:
-            for n_done, payloads in _pooled_chunks(misses, jobs):
+            for n_done, payloads in _pooled_chunks(misses, jobs, worker_root):
                 for (point, key), payload in zip(pending[:n_done], payloads):
                     finish(point, key, payload)
                 pending = pending[n_done:]
                 if checkpoint is not None:
                     checkpoint.flush()
         # Chunks the pool never delivered (pool creation failed, or a
-        # worker crashed mid-campaign) complete inline.  Trace records
-        # here deliberately go through the *default*
-        # (environment-selected) store, not ``store``: pooled workers
-        # can only reach the environment store, and the jobs-parity
-        # guarantee (store trees byte-identical for any ``jobs``)
-        # requires serial execution to match them.  Single-point
-        # callers that pass an explicit store get trace forwarding via
-        # run_point.
+        # worker crashed mid-campaign) complete inline, against the
+        # same store the workers were handed.
         if _COMPUTE_BUDGET is None:
             # Whole shared-trace groups go through one batched timing
             # pass each; results land (and checkpoint) per point.
@@ -832,7 +952,7 @@ def sweep(
                     (point.kernel, point.version, point.seed), []
                 ).append((point, key))
             for group in grouped.values():
-                timings = compute_points([p for p, _ in group])
+                timings = compute_points([p for p, _ in group], store)
                 for (point, key), timing in zip(group, timings):
                     finish(point, key, kernel_timing_to_dict(timing))
                     if checkpoint is not None:
@@ -841,7 +961,10 @@ def sweep(
             # A bounded compute budget persists point by point so
             # SweepInterrupted leaves exactly the budgeted prefix.
             for point, key in pending:
-                finish(point, key, kernel_timing_to_dict(compute_point(point)))
+                finish(
+                    point, key,
+                    kernel_timing_to_dict(compute_point(point, store)),
+                )
                 if checkpoint is not None:
                     checkpoint.flush()
 
@@ -862,7 +985,9 @@ def sweep(
     )
 
 
-def _pooled_chunks(misses: Sequence[SweepPoint], jobs: int):
+def _pooled_chunks(
+    misses: Sequence[SweepPoint], jobs: int, store_root: Optional[str] = None
+):
     """Yield ``(points_consumed, payloads)`` per completed pool chunk.
 
     Results stream back in deterministic chunk order, so the caller can
@@ -874,9 +999,11 @@ def _pooled_chunks(misses: Sequence[SweepPoint], jobs: int):
     """
     global _SIM_COUNT, _EMU_COUNT
     import concurrent.futures
+    import functools
     import multiprocessing
 
     chunks = _chunks(list(misses), jobs)
+    worker = functools.partial(_worker_chunk, store_root=store_root)
     try:
         context = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
@@ -885,7 +1012,7 @@ def _pooled_chunks(misses: Sequence[SweepPoint], jobs: int):
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=min(jobs, len(chunks)), mp_context=context
         ) as pool:
-            for chunk, result in zip(chunks, pool.map(_worker_chunk, chunks)):
+            for chunk, result in zip(chunks, pool.map(worker, chunks)):
                 _SIM_COUNT += len(chunk)
                 _EMU_COUNT += result["emulations"]
                 yield len(chunk), result["payloads"]

@@ -119,6 +119,57 @@ class SweepPoint:
         return data
 
 
+def point_from_dict(data: Any) -> SweepPoint:
+    """Rebuild a :class:`SweepPoint` from its :meth:`~SweepPoint.as_dict` form.
+
+    The inverse the remote executors ship rebalanced work through: a
+    points file is a JSON list of these dicts, and a malformed entry
+    raises :class:`ValueError` naming what is wrong rather than
+    surfacing as a ``KeyError`` from deep inside a worker.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"a sweep point must be a JSON object, got {data!r}")
+    try:
+        return SweepPoint(
+            kernel=str(data["kernel"]),
+            version=str(data["version"]),
+            way=int(data["way"]),
+            seed=int(data.get("seed", 0)),
+            core_overrides=tuple(
+                (str(k), v) for k, v in data.get("core_overrides", ())
+            ),
+            mem_overrides=tuple(
+                (str(k), v) for k, v in data.get("mem_overrides", ())
+            ),
+            machine=data.get("machine"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"invalid sweep point {data!r}: {exc}") from None
+
+
+def write_points_file(path: Any, points: Sequence[SweepPoint]) -> None:
+    """Serialise ``points`` as the JSON list ``sweep --points-file`` reads."""
+    import json
+
+    with open(path, "w") as handle:
+        json.dump([point.as_dict() for point in points], handle, indent=2)
+        handle.write("\n")
+
+
+def read_points_file(path: Any) -> List[SweepPoint]:
+    """Load a ``--points-file`` JSON list; :class:`ValueError` on junk."""
+    import json
+
+    with open(path) as handle:
+        data = json.load(handle)
+    if not isinstance(data, list):
+        raise ValueError(
+            f"a points file must hold a JSON list of points, got "
+            f"{type(data).__name__}"
+        )
+    return [point_from_dict(entry) for entry in data]
+
+
 def grid(
     kernels: Sequence[str],
     versions: Sequence[str],
@@ -257,6 +308,45 @@ def shard(points: Iterable[SweepPoint], index: int, count: int) -> List[SweepPoi
             f"shard index must be in [0, {count}), got {index!r}"
         )
     return shard_assignment(points, count)[index]
+
+
+def reshard_keys(
+    points: Iterable[SweepPoint],
+    keys: Iterable[str],
+    count: int,
+) -> List[List[SweepPoint]]:
+    """Re-partition the points whose store key is in ``keys`` onto ``count`` shards.
+
+    The elastic-rebalancing primitive: when a host dies mid-shard, the
+    orchestrator takes the dead shard's original point list, the
+    unfinished keys reported by :meth:`ResultStore.missing` over the
+    shipped-back partial store, and the number of surviving hosts --
+    and gets back a fresh trace-grouped, size-balanced assignment of
+    *only the unfinished work*.  Finished points are never re-run and a
+    key with no matching point raises :class:`ValueError` loudly (it
+    means the caller paired keys with the wrong point list).
+
+    Like :func:`shard_assignment` the result is a pure function of its
+    inputs, so a resumed orchestrator recomputes the identical pieces.
+    """
+    from repro.sweep.engine import point_key
+
+    wanted = set(keys)
+    unfinished: List[SweepPoint] = []
+    matched = set()
+    for point in dedupe(points):
+        key = point_key(point)
+        if key in wanted:
+            unfinished.append(point)
+            matched.add(key)
+    unknown = wanted - matched
+    if unknown:
+        raise ValueError(
+            f"reshard_keys: {len(unknown)} key(s) have no matching point "
+            f"(first: {sorted(unknown)[0]}); the key list does not belong "
+            "to this point list"
+        )
+    return shard_assignment(unfinished, count)
 
 
 def parse_shard_spec(spec: str) -> Tuple[int, int]:

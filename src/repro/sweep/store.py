@@ -760,6 +760,26 @@ class ResultStore:
         return stats
 
 
+def store_from_root(root: Optional[Any]) -> Optional[ResultStore]:
+    """A :class:`ResultStore` for an explicit root, or ``None`` to disable.
+
+    The explicit-argument counterpart of :func:`default_store`: the same
+    disable spellings (``""``/``"0"``/``"off"``/``"none"``) mean "no
+    store", anything else is a store root.  This is how a store choice
+    travels *as data* -- through ``sweep(store_root=...)`` and across
+    process-pool workers -- instead of through the mutable process
+    environment, so concurrent users of one process (an orchestrator
+    shard next to a ``repro.serve`` backfill) can no longer race on
+    :data:`STORE_ENV`.
+    """
+    if root is None:
+        return None
+    text = str(root)
+    if text.strip().lower() in ("", "0", "off", "none"):
+        return None
+    return ResultStore(os.path.expanduser(text))
+
+
 _DEFAULT_STORE: Optional[ResultStore] = None
 
 

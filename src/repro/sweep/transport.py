@@ -1,0 +1,293 @@
+"""Host transports: how a remote executor reaches a fleet machine.
+
+A :class:`Transport` answers five questions about a named host -- run a
+command to completion, spawn a long-lived worker, copy a file there,
+copy a file back, and "what is the mtime of this remote path?" (the
+heartbeat primitive: shard workers touch their checkpoint record after
+every completed point, so supervision is clock math over one ``stat``).
+
+Two implementations ship:
+
+* :class:`SshTransport` -- real ``ssh``/``scp`` against hosts from the
+  campaign manifest.  Hosts are anything the local ssh config resolves
+  (``user@host``, aliases); remote scratch and the remote python are
+  constructor knobs.
+* :class:`LoopbackTransport` -- hosts are *labels* mapped to local
+  scratch directories, commands run as local subprocesses, and copies
+  are file copies.  The full remote code path (ship, spawn, heartbeat,
+  tarball back) runs with zero infrastructure, which is how CI and the
+  failover tests exercise :class:`~repro.sweep.remote.SshExecutor`
+  end to end.
+
+Remote "paths" are plain strings joined with POSIX separators; only the
+transport interprets them, so an executor never needs to know whether a
+host is across the ocean or a directory away.
+"""
+
+from __future__ import annotations
+
+import os
+import posixpath
+import re
+import shlex
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+
+class TransportError(RuntimeError):
+    """A transport operation failed (copy, spawn, remote command)."""
+
+
+def worker_env() -> Dict[str, str]:
+    """Child-process environment where the running ``repro`` wins the import race."""
+    import repro
+
+    env = os.environ.copy()
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    extra = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src_root + os.pathsep + extra if extra else src_root
+    return env
+
+
+class Transport:
+    """Reach one named host: run, spawn, push, pull, stat.
+
+    The contract is synchronous and file-shaped on purpose: everything
+    a campaign ships is either a command line (the worker), a tarball
+    (the store) or a small JSON file (rebalanced points), and the only
+    telemetry supervision needs is one mtime.
+    """
+
+    #: Registry name (the manifest's ``transport`` field).
+    name = "abstract"
+
+    def run(
+        self, host: str, command: Sequence[str],
+        timeout: Optional[float] = None,
+    ) -> subprocess.CompletedProcess:
+        """Run ``command`` on ``host`` to completion, output captured."""
+        raise NotImplementedError
+
+    def spawn(self, host: str, command: Sequence[str], stdout) -> subprocess.Popen:
+        """Start ``command`` on ``host``; stdout/stderr stream to ``stdout``."""
+        raise NotImplementedError
+
+    def push(self, host: str, local: str, remote: str) -> None:
+        """Copy the local file ``local`` to ``remote`` on ``host``."""
+        raise NotImplementedError
+
+    def pull(self, host: str, remote: str, local: str) -> None:
+        """Copy ``remote`` on ``host`` to the local file ``local``."""
+        raise NotImplementedError
+
+    def mtime(self, host: str, remote: str) -> Optional[float]:
+        """Epoch mtime of ``remote`` on ``host``; None if absent/unreachable."""
+        raise NotImplementedError
+
+    def scratch_root(self, host: str) -> str:
+        """Directory on ``host`` campaigns may create scratch trees under."""
+        raise NotImplementedError
+
+    def python(self, host: str) -> str:
+        """The python executable worker commands run under on ``host``."""
+        raise NotImplementedError
+
+
+class SshTransport(Transport):
+    """Plain ``ssh``/``scp``: the production fleet transport.
+
+    ``ssh_command``/``scp_command`` default to batch mode (no password
+    prompts -- a fleet host that needs one is indistinguishable from a
+    hung worker, so fail fast instead).  ``python`` names the remote
+    interpreter, which must already have ``repro`` importable; the
+    runbook in ``docs/campaigns.md`` covers provisioning.
+    """
+
+    name = "ssh"
+
+    def __init__(
+        self,
+        python: str = "python3",
+        scratch: str = "/tmp/repro-fleet",
+        ssh_command: Sequence[str] = ("ssh", "-oBatchMode=yes"),
+        scp_command: Sequence[str] = ("scp", "-q", "-oBatchMode=yes"),
+    ) -> None:
+        self._python = python
+        self._scratch = scratch
+        self._ssh = list(ssh_command)
+        self._scp = list(scp_command)
+
+    def ssh_argv(self, host: str, command: Sequence[str]) -> List[str]:
+        """The local argv that runs ``command`` on ``host``.
+
+        The remote side goes through a shell, so the command is
+        shell-quoted as one string -- exposed separately from
+        :meth:`run`/:meth:`spawn` so tests can pin the quoting without
+        an ssh daemon.
+        """
+        return self._ssh + [host, shlex.join(command)]
+
+    def run(self, host, command, timeout=None):
+        return subprocess.run(
+            self.ssh_argv(host, command),
+            capture_output=True, text=True, timeout=timeout,
+        )
+
+    def spawn(self, host, command, stdout):
+        return subprocess.Popen(
+            self.ssh_argv(host, command),
+            stdout=stdout, stderr=subprocess.STDOUT,
+        )
+
+    def push(self, host, local, remote):
+        result = subprocess.run(
+            self._scp + [str(local), f"{host}:{remote}"],
+            capture_output=True, text=True,
+        )
+        if result.returncode != 0:
+            raise TransportError(
+                f"scp to {host}:{remote} failed: {result.stderr.strip()}"
+            )
+
+    def pull(self, host, remote, local):
+        result = subprocess.run(
+            self._scp + [f"{host}:{remote}", str(local)],
+            capture_output=True, text=True,
+        )
+        if result.returncode != 0:
+            raise TransportError(
+                f"scp from {host}:{remote} failed: {result.stderr.strip()}"
+            )
+
+    def mtime(self, host, remote):
+        # ``stat -c %Y`` (GNU) with a BSD fallback; any failure -- no
+        # file yet, host unreachable -- reads as "no heartbeat".
+        result = self.run(
+            host, ["sh", "-c", f"stat -c %Y {shlex.quote(remote)} 2>/dev/null "
+                               f"|| stat -f %m {shlex.quote(remote)}"]
+        )
+        if result.returncode != 0:
+            return None
+        try:
+            return float(result.stdout.strip().splitlines()[-1])
+        except (ValueError, IndexError):
+            return None
+
+    def scratch_root(self, host):
+        return self._scratch
+
+    def python(self, host):
+        return self._python
+
+
+def _safe_label(host: str) -> str:
+    """A host label as a single safe path component."""
+    cleaned = re.sub(r"[^A-Za-z0-9._-]+", "_", str(host)).strip("._") or "host"
+    return cleaned
+
+
+class LoopbackTransport(Transport):
+    """"Remote" hosts as local scratch directories, workers as subprocesses.
+
+    Every host label gets its own directory under ``base`` and its own
+    store/scratch tree inside it, so a three-"host" campaign genuinely
+    ships tarballs between three disjoint stores -- the whole
+    SshExecutor code path (forward-ship, spawn, heartbeat polling,
+    tarball back, rebalance) runs unmodified with subprocesses standing
+    in for ssh sessions.
+    """
+
+    name = "loopback"
+
+    def __init__(self, base: Optional[str] = None) -> None:
+        self.base = Path(
+            base if base is not None
+            else tempfile.mkdtemp(prefix="repro-loopback-")
+        )
+
+    def host_dir(self, host: str) -> Path:
+        path = self.base / _safe_label(host)
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def run(self, host, command, timeout=None):
+        self.host_dir(host)
+        return subprocess.run(
+            list(command), capture_output=True, text=True,
+            timeout=timeout, env=worker_env(),
+        )
+
+    def spawn(self, host, command, stdout):
+        self.host_dir(host)
+        return subprocess.Popen(
+            list(command), stdout=stdout, stderr=subprocess.STDOUT,
+            env=worker_env(),
+        )
+
+    def push(self, host, local, remote):
+        try:
+            Path(remote).parent.mkdir(parents=True, exist_ok=True)
+            shutil.copyfile(str(local), str(remote))
+        except OSError as exc:
+            raise TransportError(f"copy to {host}:{remote} failed: {exc}") from exc
+
+    def pull(self, host, remote, local):
+        try:
+            Path(local).parent.mkdir(parents=True, exist_ok=True)
+            shutil.copyfile(str(remote), str(local))
+        except OSError as exc:
+            raise TransportError(
+                f"copy from {host}:{remote} failed: {exc}"
+            ) from exc
+
+    def mtime(self, host, remote):
+        try:
+            return os.stat(remote).st_mtime
+        except OSError:
+            return None
+
+    def scratch_root(self, host):
+        return str(self.host_dir(host) / "scratch")
+
+    def python(self, host):
+        import sys
+
+        return sys.executable
+
+
+#: Transport registry: the manifest's ``transport`` field resolves here.
+TRANSPORTS = {
+    SshTransport.name: SshTransport,
+    LoopbackTransport.name: LoopbackTransport,
+}
+
+
+def resolve_transport(spec, root: Optional[str] = None) -> Optional[Transport]:
+    """A :class:`Transport` from a manifest/CLI spelling (or instance).
+
+    ``None`` passes through (the executor picks its default), an
+    instance passes through untouched (tests inject doctored
+    transports), and a registry name is constructed -- ``loopback``
+    rooted under ``<root>/remote-scratch`` when a campaign root is
+    given, so its per-host trees land somewhere inspectable.
+    """
+    if spec is None or isinstance(spec, Transport):
+        return spec
+    name = str(spec)
+    if name not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {name!r}; available: "
+            f"{', '.join(sorted(TRANSPORTS))}"
+        )
+    if name == LoopbackTransport.name and root is not None:
+        base = Path(os.path.expanduser(str(root))) / "remote-scratch"
+        return LoopbackTransport(base=str(base))
+    return TRANSPORTS[name]()
+
+
+def join_remote(*parts: str) -> str:
+    """Join remote path components (POSIX separators, transports own meaning)."""
+    return posixpath.join(*parts)

@@ -470,10 +470,17 @@ class TestCampaignCli:
         assert main(["campaign", "run", "--grid", "fig99", "--root", root]) == 1
         assert "fig99" in capsys.readouterr().out
         assert main(
-            ["campaign", "run", "--kernels", "ycc", "--executor", "ssh",
+            ["campaign", "run", "--kernels", "ycc", "--executor", "slurm",
              "--root", root]
         ) == 1
         assert "executor" in capsys.readouterr().out
+        # A registered remote executor without hosts is a different,
+        # equally-named error: the manifest rejects it up front.
+        assert main(
+            ["campaign", "run", "--kernels", "ycc", "--executor", "ssh",
+             "--root", root]
+        ) == 1
+        assert "hosts" in capsys.readouterr().out
 
     def test_default_root_is_deterministic(self, tmp_path, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_CAMPAIGN_HOME", str(tmp_path / "home"))

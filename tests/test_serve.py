@@ -207,6 +207,16 @@ class TestPoints:
         # Different resolved config, different content address: cold.
         assert r.status == 202
 
+    def test_202_carries_retry_after(self, store):
+        (r,) = drive(
+            app_for(store),
+            ("GET", "/v1/point?kernel=addblock&version=mmx64&way=4"),
+        )
+        assert r.status == 202
+        # Well-behaved pollers need a server-suggested cadence; without
+        # the header a 202 invites a tight polling loop.
+        assert dict(r.headers).get("Retry-After") == "2"
+
     def test_cold_point_202_then_poll_then_warm(self, store):
         app = app_for(store)
 

@@ -3,7 +3,8 @@
 Each machine couples functional execution (values in registers and
 memory) with dynamic-trace emission, playing the role of the paper's
 ATOM-instrumented emulation libraries for MMX64, MMX128, VMMX64 and
-VMMX128 plus the scalar baseline.
+VMMX128 plus the scalar baseline, and the post-2005 VLA and tile
+families layered on top.
 """
 
 from typing import Optional
@@ -13,6 +14,8 @@ from repro.emu.batch import (
     BatchMemory,
     BatchMMXMachine,
     BatchScalarMachine,
+    BatchTileMachine,
+    BatchVLAMachine,
     BatchVMMXMachine,
     PlaneMemory,
     batch_enabled,
@@ -22,6 +25,8 @@ from repro.emu.handles import AccReg, MAccReg, MReg, SReg, VReg
 from repro.emu.memory import Memory
 from repro.emu.mmx import MMXMachine
 from repro.emu.scalar import ScalarMachine
+from repro.emu.tile import TileMachine
+from repro.emu.vla import VLAMachine
 from repro.emu.vmmx import VMMXMachine
 from repro.isa.trace import Trace
 
@@ -31,38 +36,65 @@ ISA_NAMES = ("mmx64", "mmx128", "vmmx64", "vmmx128")
 #: All machine flavours, including the pure-scalar baseline.
 VERSION_NAMES = ("scalar",) + ISA_NAMES
 
+#: Emulation machine per registry ``emu`` dispatch key (a capability of
+#: the registered family -- never inferred from the spelling of a name).
+_EMU_CLASSES = {
+    "mmx": MMXMachine,
+    "vmmx": VMMXMachine,
+    "vla": VLAMachine,
+    "tile": TileMachine,
+}
 
-def make_machine(isa: str, mem: Memory, trace: Optional[Trace] = None):
+
+def make_machine(
+    isa: str,
+    mem: Memory,
+    trace: Optional[Trace] = None,
+    vl: Optional[int] = None,
+):
     """Instantiate the emulation machine for an ISA or machine name.
 
     ``scalar`` builds the baseline machine; any name registered in
     :mod:`repro.machines` builds the machine of its *program* (the
-    emulation ISA whose binaries it executes) with the geometry the
-    registry declares -- a 1-D geometry yields an :class:`MMXMachine`,
-    a matrix geometry a :class:`VMMXMachine`.  A registered alias such
-    as ``mmx256`` therefore emulates exactly like its program
-    (``mmx128``): emulation produces the program's trace, and only the
-    timing layer distinguishes the wider machine.
+    emulation ISA whose binaries it executes) with the geometry and
+    emulation family the registry declares.  A registered alias such as
+    ``mmx256`` therefore emulates exactly like its program (``mmx128``):
+    emulation produces the program's trace, and only the timing layer
+    distinguishes the wider machine.
+
+    ``vl`` selects the runtime vector length for ``runtime_vl``
+    families (defaulting to the geometry's maximum); passing it for any
+    other machine raises ``ValueError`` naming the axis.
     """
     if isa == "scalar":
+        if vl is not None:
+            raise ValueError("the scalar machine has no 'vl' axis")
         return ScalarMachine(mem, trace)
-    from repro.machines import find_geometry, program_of
+    from repro.machines import emu_of, find_geometry, program_of
 
-    geometry = find_geometry(program_of(isa))
+    program = program_of(isa)
+    geometry = find_geometry(program)
     if geometry is None:
         raise ValueError(
             f"unknown ISA {isa!r}; expected 'scalar' or a registered "
             "machine name (see repro.machines.machine_names())"
         )
-    if geometry.matrix:
-        return VMMXMachine(mem, trace, geometry=geometry)
-    return MMXMachine(mem, trace, geometry=geometry)
+    if vl is not None and not geometry.runtime_vl:
+        raise ValueError(
+            f"machine {isa!r} has no 'vl' axis (its geometry is not runtime_vl)"
+        )
+    cls = _EMU_CLASSES[emu_of(program)]
+    if geometry.runtime_vl:
+        return cls(mem, trace, geometry=geometry, vl=vl)
+    return cls(mem, trace, geometry=geometry)
 
 
 __all__ = [
     "AccReg", "BatchDivergence", "BatchMMXMachine", "BatchMemory",
-    "BatchScalarMachine", "BatchVMMXMachine", "ISA_NAMES", "MAccReg",
+    "BatchScalarMachine", "BatchTileMachine", "BatchVLAMachine",
+    "BatchVMMXMachine", "ISA_NAMES", "MAccReg",
     "MMXMachine", "MReg", "Memory", "PlaneMemory", "SReg",
-    "ScalarMachine", "Trace", "VERSION_NAMES", "VMMXMachine", "VReg",
+    "ScalarMachine", "TileMachine", "Trace", "VERSION_NAMES",
+    "VLAMachine", "VMMXMachine", "VReg",
     "batch_enabled", "make_batch_machine", "make_machine",
 ]

@@ -1,0 +1,100 @@
+"""2-D tile/matrix emulation machine beyond VMMX.
+
+``TileMachine`` generalises the MOM-style matrix extension to
+rectangular *tiles*: where VMMX128 architecturally fixes registers at
+16 rows x 16 bytes, the tile family doubles the register file depth
+(``max_vl=32``) so a register holds a 32x16-byte tile, and any
+rectangular ``height x width_bytes`` sub-tile (height set via
+``setvl``, width via the existing partial row instructions) is a
+first-class operand.  This is the in-cache-computing style of
+multi-dimensional extension: taller register tiles amortise one
+instruction over more data without growing the row datapath.
+
+It executes the *vmmx program binaries* unchanged: every paper kernel
+sets ``vl`` explicitly before vector work, so on a deeper register
+file the dynamic instruction stream -- and therefore the cached trace
+content -- is identical to VMMX128's (pinned by the differential
+suite).  Only the timing layer distinguishes the machine, via its
+registered scaling curves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.emu.handles import MReg, SReg
+from repro.emu.memory import Memory
+from repro.emu.scalar import Operand
+from repro.emu.vmmx import VMMXMachine
+from repro.isa.trace import Trace
+from repro.machines.spec import SimdGeometry
+
+
+def _default_geometry() -> SimdGeometry:
+    # Mirrors ``repro.machines.registry.TILE_GEOMETRY`` without
+    # importing the registry (the emu layer stays registry-independent;
+    # the factory passes the registered geometry in explicitly).
+    return SimdGeometry(
+        row_bytes=16, lanes=8, max_vl=32, logical_regs=16, matrix=True,
+    )
+
+
+class TileMachine(VMMXMachine):
+    """A matrix machine with deep rectangular tile registers.
+
+    Everything VMMX does works unchanged (``setvl``, strided vector
+    memory, packed reductions, matrix multiply-accumulate); the tile
+    view adds convenience entry points for loading and storing a
+    ``height``-row tile in one call, expressed entirely in the existing
+    instruction vocabulary so no new mnemonics enter the trace IR.
+    """
+
+    def __init__(
+        self,
+        mem: Memory,
+        trace: Optional[Trace] = None,
+        geometry: Optional[SimdGeometry] = None,
+    ) -> None:
+        if geometry is None:
+            geometry = _default_geometry()
+        if not geometry.matrix:
+            raise ValueError("TileMachine needs a matrix geometry")
+        super().__init__(mem, trace, geometry=geometry)
+
+    @property
+    def isa_name(self) -> str:
+        return "tile"
+
+    # -- tile views --------------------------------------------------------
+
+    def load_tile(
+        self,
+        addr: Operand,
+        height: Union[int, SReg],
+        stride: Optional[Union[int, SReg]] = None,
+        offset: int = 0,
+    ) -> MReg:
+        """Load a ``height x row_bytes`` tile (setvl + strided vload)."""
+        self.setvl(height)
+        return self.vload(addr, stride=stride, offset=offset)
+
+    def store_tile(
+        self,
+        m: MReg,
+        addr: Operand,
+        height: Union[int, SReg],
+        stride: Optional[Union[int, SReg]] = None,
+        offset: int = 0,
+    ) -> None:
+        """Store a ``height x row_bytes`` tile (setvl + strided vstore)."""
+        self.setvl(height)
+        self.vstore(m, addr, stride=stride, offset=offset)
+
+    def tile_rows(self, m: MReg, dtype: str) -> np.ndarray:
+        """The active ``vl x row_elements`` view of a tile register."""
+        return self._active(m, dtype).reshape(self.vl, -1)
+
+
+__all__ = ["TileMachine"]

@@ -1,0 +1,81 @@
+"""Vector-length-agnostic (RISC-V-V style) emulation machine.
+
+``VLAMachine`` runs the *same program binary* at any runtime vector
+length: the kernel versions it executes are the width-generic MMX
+functions (they read ``m.width``), and the width they observe is the
+VL the machine was constructed with.  This mirrors the VLA programming
+model of RISC-V V -- one binary, many widths -- as opposed to the
+fixed-width MMX64/MMX128 families where the width is baked into the
+machine name.
+
+Consequence for caching: the dynamic trace a kernel emits *depends on
+the VL it ran at* (at ``vl=8`` it is instruction-for-instruction the
+MMX64 stream, at ``vl=16`` the MMX128 stream), so the trace store key
+grows a ``vl`` axis for this family (``repro.sweep.engine.trace_key``).
+The differential suite (``tests/test_vla_machine.py``) pins the
+trace-content equality against the fixed-width family at each VL.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.emu.memory import Memory
+from repro.emu.mmx import MMXMachine
+from repro.isa.trace import Trace
+from repro.machines.spec import SimdGeometry
+
+
+def _default_geometry() -> SimdGeometry:
+    # Mirrors ``repro.machines.registry.VLA_GEOMETRY`` without importing
+    # the registry (the emu layer stays registry-independent; the
+    # factory passes the registered geometry in explicitly).
+    return SimdGeometry(
+        row_bytes=16, lanes=1, max_vl=1,
+        logical_regs=32, matrix=False, runtime_vl=True,
+    )
+
+
+class VLAMachine(MMXMachine):
+    """A 1-D SIMD machine whose vector length is runtime state.
+
+    ``geometry.row_bytes`` is the *maximum* VL (the architected register
+    width); ``vl`` selects the active width for this run and defaults to
+    the maximum.  The instruction stream contains no ``setvl`` -- the VL
+    is ambient configuration, set once before the program runs, exactly
+    like the application binary interface of a VLA ISA where the kernel
+    queries the implementation width.
+    """
+
+    def __init__(
+        self,
+        mem: Memory,
+        trace: Optional[Trace] = None,
+        geometry: Optional[SimdGeometry] = None,
+        vl: Optional[int] = None,
+    ) -> None:
+        if geometry is None:
+            geometry = _default_geometry()
+        if not geometry.runtime_vl:
+            raise ValueError("VLAMachine needs a runtime_vl geometry")
+        if vl is None:
+            vl = geometry.row_bytes
+        if isinstance(vl, bool) or not isinstance(vl, int):
+            raise ValueError(f"vl must be an integer number of bytes, got {vl!r}")
+        if vl < 8 or vl & (vl - 1) or vl > geometry.row_bytes:
+            raise ValueError(
+                f"vl must be a power of two in [8, {geometry.row_bytes}], got {vl}"
+            )
+        # The active width *is* the machine width: the base class builds
+        # a synthetic 1-D geometry of ``row_bytes=vl``, which we replace
+        # with the architected runtime-VL geometry afterwards.
+        super().__init__(mem, trace, width=vl)
+        self.geometry = geometry
+        self.vl = vl
+
+    @property
+    def isa_name(self) -> str:
+        return "vla"
+
+
+__all__ = ["VLAMachine"]

@@ -7,8 +7,12 @@ from repro.experiments.artifacts import (
     canonicalise,
 )
 from repro.experiments.extended import (
+    fig4v_data,
+    fig4v_render,
     fig4x_data,
     fig4x_render,
+    fig5v_data,
+    fig5v_render,
     fig5x_data,
     fig5x_render,
 )
@@ -35,8 +39,9 @@ from repro.experiments.tables import (
 
 #: Every reproducible artefact, keyed by its CLI name.  ``fig4x`` and
 #: ``fig5x`` extend the paper figures along the machine-registry axis
-#: (mmx256/vmmx256 columns, 16-way rows); the eight paper artefacts stay
-#: byte-pinned by the goldens.
+#: (mmx256/vmmx256 columns, 16-way rows); ``fig4v``/``fig5v`` answer
+#: the 1-D-vs-2-D question on the runtime-VL and tile families; the
+#: eight paper artefacts stay byte-pinned by the goldens.
 EXPERIMENTS = {
     "table1": table1_render,
     "table2": table2_render,
@@ -48,13 +53,17 @@ EXPERIMENTS = {
     "fig7": fig7_render,
     "fig4x": fig4x_render,
     "fig5x": fig5x_render,
+    "fig4v": fig4v_render,
+    "fig5v": fig5v_render,
 }
 
 __all__ = [
     "ARTIFACT_DATA", "artifact_data", "artifact_json", "canonicalise",
     "EXPERIMENTS",
-    "fig4_data", "fig4_render", "fig4x_data", "fig4x_render",
-    "fig5_data", "fig5_render", "fig5x_data", "fig5x_render",
+    "fig4_data", "fig4_render", "fig4v_data", "fig4v_render",
+    "fig4x_data", "fig4x_render",
+    "fig5_data", "fig5_render", "fig5v_data", "fig5v_render",
+    "fig5x_data", "fig5x_render",
     "fig6_data", "fig6_render", "fig7_data", "fig7_render",
     "table1_data", "table1_render", "table2_data", "table2_render",
     "table3_data", "table3_render", "table4_data", "table4_render",

@@ -14,7 +14,12 @@ from typing import Any, Callable, Dict
 
 import numpy as np
 
-from repro.experiments.extended import fig4x_data, fig5x_data
+from repro.experiments.extended import (
+    fig4v_data,
+    fig4x_data,
+    fig5v_data,
+    fig5x_data,
+)
 from repro.experiments.figures import fig4_data, fig5_data, fig6_data, fig7_data
 from repro.experiments.tables import (
     table1_data,
@@ -30,7 +35,9 @@ PAPER_ARTIFACTS = (
 
 #: Every artefact's raw-data producer, keyed by its CLI/golden name.
 #: ``fig4x``/``fig5x`` extend the paper figures along the machine axis
-#: and are *not* golden-pinned (their columns grow with the registry).
+#: and are *not* golden-pinned (their columns grow with the registry);
+#: ``fig4v``/``fig5v`` answer the 1-D-vs-2-D question on the fixed
+#: runtime-VL/tile column set and *are* golden-pinned.
 ARTIFACT_DATA: Dict[str, Callable[[], Any]] = {
     "table1": table1_data,
     "table2": table2_data,
@@ -42,6 +49,8 @@ ARTIFACT_DATA: Dict[str, Callable[[], Any]] = {
     "fig7": fig7_data,
     "fig4x": fig4x_data,
     "fig5x": fig5x_data,
+    "fig4v": fig4v_data,
+    "fig5v": fig5v_data,
 }
 
 

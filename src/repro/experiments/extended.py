@@ -21,6 +21,7 @@ from repro.experiments.report import render_table
 from repro.kernels.registry import FIG4_KERNELS
 from repro.machines import get_machine
 from repro.sweep import default_jobs, dedupe, grid, machine_grid, sweep
+from repro.sweep.points import SweepPoint
 from repro.timing.simulator import simulate_kernel
 
 #: Machine columns of the extended artefacts, paper families first.
@@ -151,5 +152,153 @@ def fig5x_render() -> str:
         title=(
             "Figure 5x: full-application speed-ups across the machine "
             "registry, widths to 16-way (baseline 2-way MMX64)"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# fig4v / fig5v: the 1-D-vs-2-D question on the post-2005 families
+# ---------------------------------------------------------------------------
+
+#: Kernel columns of fig4v: (version, vl, column label).  The VLA
+#: family appears at each runtime VL it covers -- ``vla/vl8`` executes
+#: the *same binary* as ``vla/vl16``, where mmx64 and mmx128 are two
+#: distinct programs -- and the tile family is the 2-D counterpart.
+VLA_TILE_COLUMNS: Tuple[Tuple[str, Optional[int], str], ...] = (
+    ("mmx128", None, "mmx128"),
+    ("vla", 8, "vla/vl8"),
+    ("vla", 16, "vla/vl16"),
+    ("vmmx128", None, "vmmx128"),
+    ("tile", None, "tile"),
+)
+
+#: Machine rows of the extended Fig. 5v: the paper's widest 1-D and 2-D
+#: families, their 256-bit extensions, and the two post-2005 designs.
+FIG5V_MACHINES: Tuple[str, ...] = (
+    "mmx128", "mmx256", "vla", "vmmx128", "vmmx256", "tile",
+)
+
+
+def fig4v_points(way: int = 2, seed: int = 0):
+    """Every kernel timing fig4v reads (baseline plus all columns)."""
+    kernels = FIG4_KERNELS + ("fdct",)
+    points = grid(kernels, ("mmx64",), (2,), (seed,))
+    points += [
+        SweepPoint(kernel=kernel, version=version, way=way, seed=seed, vl=vl)
+        for kernel in kernels
+        for version, vl, _ in VLA_TILE_COLUMNS
+    ]
+    return dedupe(points)
+
+
+def fig4v_data(
+    way: int = 2, jobs: Optional[int] = None
+) -> Dict[str, Dict[str, float]]:
+    """Kernel speed-ups of the VLA and tile families over 2-way MMX64.
+
+    The 1-D-vs-2-D comparison of Fig. 4 re-asked on the post-2005
+    designs: the VLA column pair shows one binary scaling across
+    runtime vector lengths, the tile column the deeper 2-D register
+    file against VMMX128.
+    """
+    sweep(fig4v_points(way), jobs=jobs if jobs is not None else default_jobs())
+    out: Dict[str, Dict[str, float]] = {}
+    for kernel in FIG4_KERNELS + ("fdct",):
+        base = simulate_kernel(kernel, "mmx64", 2).result.cycles
+        out[kernel] = {
+            label: base / simulate_kernel(
+                kernel, version, way, vl=vl
+            ).result.cycles
+            for version, vl, label in VLA_TILE_COLUMNS
+        }
+    return out
+
+
+def fig4v_render(way: int = 2) -> str:
+    data = fig4v_data(way)
+    labels = tuple(label for _, _, label in VLA_TILE_COLUMNS)
+    rows = []
+    for kernel, cells in data.items():
+        label = kernel if kernel != "fdct" else "fdct [extra]"
+        rows.append([label] + [cells[name] for name in labels])
+    return render_table(
+        ("kernel",) + labels,
+        rows,
+        title=(
+            f"Figure 4v: kernel speed-ups on the {way}-way core for the "
+            "runtime-VL and 2-D tile families (baseline 2-way MMX64)"
+        ),
+    )
+
+
+def fig5v_points(
+    machines: Sequence[str] = FIG5V_MACHINES,
+    ways: Sequence[int] = EXTENDED_WAYS,
+    seed: int = 0,
+):
+    """Kernel timings behind the VLA/tile full-application figure."""
+    from repro.kernels.registry import APP_KERNELS
+
+    kernels = []
+    for app in APP_NAMES:
+        for kernel in APP_KERNELS[app]:
+            if kernel not in kernels:
+                kernels.append(kernel)
+    points = grid(tuple(kernels), ("mmx64",), (2,), (seed,))
+    points += machine_grid(tuple(kernels), tuple(machines), tuple(ways), (seed,))
+    return dedupe(points)
+
+
+def fig5v_data(
+    machines: Sequence[str] = FIG5V_MACHINES,
+    ways: Sequence[int] = EXTENDED_WAYS,
+    jobs: Optional[int] = None,
+) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Full-application speed-ups of the post-2005 families by width.
+
+    The VLA column runs at its architected maximum vector length (one
+    binary; the per-VL scaling is fig4v's axis), so the figure compares
+    machine families width-for-width exactly like Fig. 5.
+    """
+    sweep(
+        fig5v_points(machines, ways),
+        jobs=jobs if jobs is not None else default_jobs(),
+    )
+    out: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for app in APP_NAMES:
+        profile = run_app_profile(app)
+        base = app_timing(profile, "mmx64", 2).total_cycles
+        out[app] = {
+            way: {
+                name: base / app_timing(profile, name, way).total_cycles
+                for name in machines
+            }
+            for way in ways
+        }
+    out["average"] = {
+        way: {
+            name: sum(out[app][way][name] for app in APP_NAMES) / len(APP_NAMES)
+            for name in machines
+        }
+        for way in ways
+    }
+    return out
+
+
+def fig5v_render() -> str:
+    data = fig5v_data()
+    rows = []
+    for app in APP_NAMES + ("average",):
+        for way in EXTENDED_WAYS:
+            rows.append(
+                [app, f"{way}-way"]
+                + [data[app][way][name] for name in FIG5V_MACHINES]
+            )
+    return render_table(
+        ("application", "machine") + tuple(FIG5V_MACHINES),
+        rows,
+        title=(
+            "Figure 5v: full-application speed-ups of the 1-D runtime-VL "
+            "and 2-D tile families, widths to 16-way (baseline 2-way MMX64)"
         ),
     )

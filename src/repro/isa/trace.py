@@ -319,6 +319,21 @@ class ColumnarTrace(_TraceView):
         """SHA-256 of the serialised form (stable across processes)."""
         return hashlib.sha256(self.to_bytes()).hexdigest()
 
+    def content_digest(self) -> str:
+        """SHA-256 of the serialised form with the name neutralised.
+
+        :meth:`digest` covers the trace *name* (``kernel/version``),
+        which is part of the store payload; this digest covers only the
+        dynamic instruction stream, so two differently-named traces with
+        identical content compare equal.  The differential suites use it
+        to pin e.g. the VLA-at-VL-8 stream against MMX64's.
+        """
+        stripped = ColumnarTrace(
+            "", self.mnemonics,
+            **{attr: getattr(self, attr) for attr, _ in _COLUMN_SPEC},
+        )
+        return stripped.digest()
+
 
 class TraceBuilder(_TraceView):
     """Append-oriented columnar trace producer with amortised growth.

@@ -24,6 +24,7 @@ from repro.machines.registry import (
     MachineFamily,
     UnknownMachineError,
     WAYS,
+    emu_of,
     find_geometry,
     get_family,
     get_machine,
@@ -67,6 +68,7 @@ __all__ = [
     "WAYS",
     "build_core",
     "build_mem",
+    "emu_of",
     "find_geometry",
     "get_family",
     "get_machine",

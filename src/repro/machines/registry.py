@@ -71,10 +71,21 @@ class MachineFamily:
     ways: Tuple[int, ...] = (2, 4, 8)
     description: str = ""
     paper: bool = False     # part of the original twelve-machine study
+    #: Which emulation machine class executes this family's binaries --
+    #: a plain string key (``"mmx"``, ``"vmmx"``, ``"vla"``, ``"tile"``)
+    #: that :func:`repro.emu.make_machine` maps to a class, so the
+    #: registry stays import-independent of the emulation layer and
+    #: dispatch never sniffs ISA name spellings.  Defaults from the
+    #: geometry: matrix families emulate as ``"vmmx"``, 1-D as ``"mmx"``.
+    emu: str = ""
 
     def __post_init__(self) -> None:
         if not self.program:
             object.__setattr__(self, "program", self.name)
+        if not self.emu:
+            object.__setattr__(
+                self, "emu", "vmmx" if self.geometry.matrix else "mmx"
+            )
         if not self.ways or any(
             not isinstance(w, int) or w < 1 for w in self.ways
         ):
@@ -170,6 +181,18 @@ def program_of(name: str) -> str:
     return name if family is None else family.program
 
 
+def emu_of(name: str) -> Optional[str]:
+    """The emulation-class key of a machine's *program*, or None.
+
+    Resolves the machine axis first (an alias emulates exactly like its
+    program), then hands back the registered family's declared ``emu``
+    key.  The emulation layer maps the key to a class; unregistered
+    names yield ``None`` so callers can fall back or fail loudly.
+    """
+    family = _FAMILIES.get(program_of(name))
+    return None if family is None else family.emu
+
+
 def get_machine(name: str, way: int) -> MachineSpec:
     """Resolve one ``(name, way)`` machine (cached, any positive way)."""
     family = _FAMILIES.get(name)
@@ -253,6 +276,22 @@ MMX64_GEOMETRY = SimdGeometry(row_bytes=8, lanes=1, max_vl=1, logical_regs=32, m
 MMX128_GEOMETRY = SimdGeometry(row_bytes=16, lanes=1, max_vl=1, logical_regs=32, matrix=False)
 VMMX64_GEOMETRY = SimdGeometry(row_bytes=8, lanes=4, max_vl=16, logical_regs=16, matrix=True)
 VMMX128_GEOMETRY = SimdGeometry(row_bytes=16, lanes=4, max_vl=16, logical_regs=16, matrix=True)
+
+#: RISC-V-V-style vector-length-agnostic family: one binary, the VL a
+#: runtime choice up to the architected 128-bit maximum.  ``row_bytes``
+#: is the *maximum* VL in bytes; the point axis (``SweepPoint.vl``)
+#: selects the width a given run executes at.
+VLA_GEOMETRY = SimdGeometry(
+    row_bytes=16, lanes=1, max_vl=1, logical_regs=32, matrix=False,
+    runtime_vl=True,
+)
+
+#: 2-D tile extension beyond VMMX: rectangular 32-row x 128-bit tiles
+#: (twice VMMX128's square 16-row registers), in the spirit of
+#: multi-dimensional/matrix ISA extensions past 2005.
+TILE_GEOMETRY = SimdGeometry(
+    row_bytes=16, lanes=8, max_vl=32, logical_regs=16, matrix=True,
+)
 
 
 def _register_builtin() -> None:
@@ -342,6 +381,46 @@ def _register_builtin() -> None:
         ),
     ))
 
+    # ---- beyond the paper: post-2005 ISA designs ---------------------
+    # Both are *native programs* (their kernel versions are registered
+    # program binaries, aliased in the kernel registry to the shared
+    # width-generic implementations), so their traces are first-class
+    # store records rather than re-timings of a paper family's trace.
+    register_machine(MachineFamily(
+        name="vla",
+        geometry=VLA_GEOMETRY,
+        core_scaling=MMX_CORE_SCALING,
+        mem_scaling=PAPER_MEM_SCALING,
+        ways=(2, 4, 8, 16),
+        emu="vla",
+        description=(
+            "RISC-V-V-style vector-length-agnostic 1-D extension: one "
+            "binary, runtime VL up to 128 bits (paper-anchored 1-D "
+            "scaling curves)"
+        ),
+    ))
+    register_machine(MachineFamily(
+        name="tile",
+        geometry=TILE_GEOMETRY,
+        core_scaling=VMMX_CORE_SCALING,
+        mem_scaling=MemScaling(
+            l1_ports=ScalingCurve.at_ways({2: 1, 4: 2, 8: 4}),
+            # The tile file streams rectangular tiles through a doubled
+            # interchange switch, so strided bandwidth starts at twice
+            # the VMMX base.
+            l2_port_bytes=ScalingCurve.at_ways({2: 32, 4: 64, 8: 128}),
+            strided_rows_per_cycle=ScalingCurve.at_ways(
+                {2: 2.0, 4: 4.0, 8: 8.0}, integer=False
+            ),
+        ),
+        ways=(2, 4, 8, 16),
+        emu="tile",
+        description=(
+            "2-D tile/matrix extension beyond VMMX: rectangular 32-row "
+            "x 128-bit tiles, 8 lanes, doubled tile-file bandwidth"
+        ),
+    ))
+
 
 _register_builtin()
 
@@ -361,8 +440,11 @@ __all__ = [
     "MachineFamily",
     "MMX_CORE_SCALING",
     "PAPER_MEM_SCALING",
+    "TILE_GEOMETRY",
     "UnknownMachineError",
+    "VLA_GEOMETRY",
     "VMMX_CORE_SCALING",
+    "emu_of",
     "find_geometry",
     "get_family",
     "get_machine",

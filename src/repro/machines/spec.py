@@ -48,6 +48,13 @@ class SimdGeometry:
     max_vl: int             # rows per register (1 for the 1-D families)
     logical_regs: int       # architected SIMD registers
     matrix: bool            # 2-D capability: setvl / strided vector memory
+    #: Vector length is *runtime* state (RISC-V-V style): one program
+    #: binary runs at any power-of-two VL up to ``row_bytes``, and the
+    #: trace a kernel emits depends on the VL it ran at -- so the trace
+    #: store key grows a VL axis for these families (see
+    #: ``repro.sweep.engine.trace_key``).  Mutually exclusive with
+    #: ``matrix``, whose VL is program-set via ``setvl``.
+    runtime_vl: bool = False
 
     def __post_init__(self) -> None:
         for name in ("row_bytes", "lanes", "max_vl", "logical_regs"):
@@ -62,13 +69,27 @@ class SimdGeometry:
                 "a non-matrix (1-D) geometry must have max_vl == 1, "
                 f"got max_vl={self.max_vl}"
             )
+        if self.runtime_vl and self.matrix:
+            raise ValueError(
+                "runtime_vl applies to 1-D vector-length-agnostic "
+                "geometries; matrix geometries set their VL in-program "
+                "via setvl"
+            )
 
     @property
     def row_bits(self) -> int:
         return 8 * self.row_bytes
 
     def to_dict(self) -> Dict[str, Any]:
-        return dataclasses.asdict(self)
+        # ``runtime_vl`` only appears when the capability is actually
+        # set, so every pre-existing geometry keeps its exact historical
+        # dict form -- and with it every machine fingerprint and every
+        # trace store address (the manifest and key-stability tests pin
+        # this).
+        data = dataclasses.asdict(self)
+        if not self.runtime_vl:
+            del data["runtime_vl"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SimdGeometry":
@@ -78,6 +99,7 @@ class SimdGeometry:
             max_vl=int(data["max_vl"]),
             logical_regs=int(data["logical_regs"]),
             matrix=bool(data["matrix"]),
+            runtime_vl=bool(data.get("runtime_vl", False)),
         )
 
 
@@ -234,6 +256,16 @@ class MachineSpec:
     def is_native_program(self) -> bool:
         """True when this machine is the architected home of its binaries."""
         return self.program == self.name
+
+    @property
+    def runtime_vl(self) -> bool:
+        """Does this machine set its vector length at runtime?
+
+        A capability flag resolved from the architected geometry (like
+        :attr:`CoreConfig.vector_memory`) -- consumers branch on this,
+        never on the spelling of the machine name.
+        """
+        return self.geometry.runtime_vl
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-stable description (round-trips through :meth:`from_dict`)."""

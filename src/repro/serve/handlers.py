@@ -124,6 +124,14 @@ def _artifact_points(name: str) -> Optional[List[SweepPoint]]:
         from repro.experiments.extended import fig5x_points
 
         return list(fig5x_points())
+    if name == "fig4v":
+        from repro.experiments.extended import fig4v_points
+
+        return list(fig4v_points())
+    if name == "fig5v":
+        from repro.experiments.extended import fig5v_points
+
+        return list(fig5v_points())
     return None
 
 
@@ -332,10 +340,17 @@ class Api:
 
             self.metrics.inc("retime_dispatches")
             self.metrics.inc("retime_variants", len(points))
-            body_bytes = _dumps({
+            # Legacy fixed-width responses keep their exact shape; the
+            # vl key only appears for runtime-VL programs.
+            header = {
                 "kernel": base.kernel,
                 "version": base.version,
                 "seed": base.seed,
+            }
+            if base.vl is not None:
+                header["vl"] = base.vl
+            body_bytes = _dumps({
+                **header,
                 "trace_key": tkey,
                 "instructions": len(trace),
                 "dispatches": 1,
@@ -398,6 +413,12 @@ class Api:
             raise ApiError(400, f"'way'/'seed' must be integers: {exc}") from None
         if way < 1:
             raise ApiError(400, f"'way' must be a positive integer, got {way}")
+        vl: Optional[int] = None
+        if params.get("vl"):
+            try:
+                vl = int(params["vl"])
+            except ValueError as exc:
+                raise ApiError(400, f"'vl' must be an integer: {exc}") from None
         core = {}
         mem = {}
         for name, value in params.items():
@@ -409,8 +430,11 @@ class Api:
             return SweepPoint(
                 kernel=kernel, version=version, way=way, seed=seed,
                 core_overrides=core, mem_overrides=mem, machine=machine,
+                vl=vl,
             )
-        except TypeError as exc:
+        except (TypeError, ValueError) as exc:
+            # The point constructor's ValueError names the offending
+            # axis (e.g. a 'vl' against a fixed-width version).
             raise ApiError(400, str(exc)) from None
 
     def _parse_retime(self, body: bytes) -> Dict[str, Any]:
@@ -437,6 +461,9 @@ class Api:
         variants = request.get("variants")
         if not isinstance(seed, int) or isinstance(seed, bool):
             raise ApiError(400, f"'seed' must be an integer, got {seed!r}")
+        vl = request.get("vl")
+        if vl is not None and (not isinstance(vl, int) or isinstance(vl, bool)):
+            raise ApiError(400, f"'vl' must be an integer, got {vl!r}")
         if not isinstance(variants, list) or not variants:
             raise ApiError(400, "'variants' must be a non-empty list")
         if len(variants) > MAX_RETIME_VARIANTS:
@@ -468,8 +495,11 @@ class Api:
                     core_overrides=variant.get("core") or {},
                     mem_overrides=variant.get("mem") or {},
                     machine=machine,
+                    vl=vl,
                 ))
-            except TypeError as exc:
+            except (TypeError, ValueError) as exc:
+                # Includes the constructor's ValueError naming the 'vl'
+                # axis when it is passed against a fixed-width version.
                 raise ApiError(400, f"variants[{i}]: {exc}") from None
         for i, point in enumerate(points):
             try:

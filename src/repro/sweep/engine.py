@@ -60,9 +60,11 @@ _SIM_COUNT = 0
 _EMU_COUNT = 0
 
 #: In-process memo of recently generated/loaded columnar traces, keyed
-#: (kernel, version, seed).  Bounded: traces are the largest objects in
-#: the system, and the store remains the system of record.
-_TRACE_MEMO: "OrderedDict[Tuple[str, str, int], ColumnarTrace]" = OrderedDict()
+#: (kernel, version, seed, vl) -- ``vl`` is ``None`` except for
+#: runtime-VL program families, whose traces depend on it.  Bounded:
+#: traces are the largest objects in the system, and the store remains
+#: the system of record.
+_TRACE_MEMO: "OrderedDict[Tuple[str, str, int, Optional[int]], ColumnarTrace]" = OrderedDict()
 _TRACE_MEMO_MAXSIZE = 32
 
 #: Test hook: remaining :func:`compute_point` calls this process may
@@ -281,6 +283,11 @@ def trace_key(point: SweepPoint) -> str:
     shares one stored trace (``mmx256`` points re-time the ``mmx128``
     trace), while editing a registered geometry re-addresses the traces
     it produced.
+
+    Runtime-VL families are the one exception: their emitted stream
+    depends on the vector length the program ran at, so the key grows a
+    ``vl`` axis for them -- and only for them, keeping every legacy
+    fixed-width trace address byte-stable.
     """
     from repro.machines import find_geometry
 
@@ -292,6 +299,8 @@ def trace_key(point: SweepPoint) -> str:
     geometry = find_geometry(point.version)
     if geometry is not None:
         identity["geometry"] = geometry.to_dict()
+        if geometry.runtime_vl:
+            identity["vl"] = point.vl
     return record_key("trace", identity)
 
 
@@ -308,7 +317,7 @@ def acquire_trace(point: SweepPoint, store: Any = _USE_DEFAULT) -> ColumnarTrace
     global _EMU_COUNT
     if store is _USE_DEFAULT:
         store = default_store()
-    memo_key = (point.kernel, point.version, point.seed)
+    memo_key = (point.kernel, point.version, point.seed, point.vl)
     hit = _TRACE_MEMO.get(memo_key)
     if hit is not None:
         _TRACE_MEMO.move_to_end(memo_key)
@@ -328,7 +337,9 @@ def acquire_trace(point: SweepPoint, store: Any = _USE_DEFAULT) -> ColumnarTrace
         from repro.kernels.base import execute
         from repro.kernels.registry import KERNELS
 
-        run = execute(KERNELS[point.kernel], point.version, seed=point.seed)
+        run = execute(
+            KERNELS[point.kernel], point.version, seed=point.seed, vl=point.vl
+        )
         if not run.correct:
             raise AssertionError(
                 f"kernel {point.kernel}/{point.version} failed verification "
@@ -342,7 +353,9 @@ def acquire_trace(point: SweepPoint, store: Any = _USE_DEFAULT) -> ColumnarTrace
     return cols
 
 
-def _memo_put(memo_key: Tuple[str, str, int], cols: ColumnarTrace) -> None:
+def _memo_put(
+    memo_key: Tuple[str, str, int, Optional[int]], cols: ColumnarTrace
+) -> None:
     """Insert one trace into the in-process memo, evicting LRU entries."""
     _TRACE_MEMO[memo_key] = cols
     _TRACE_MEMO.move_to_end(memo_key)
@@ -368,13 +381,17 @@ def acquire_traces(points: Sequence[SweepPoint], store: Any = _USE_DEFAULT) -> i
     global _EMU_COUNT
     if store is _USE_DEFAULT:
         store = default_store()
-    groups: Dict[Tuple[str, str], Dict[int, SweepPoint]] = {}
+    groups: Dict[Tuple[str, str, Optional[int]], Dict[int, SweepPoint]] = {}
     for point in points:
-        if (point.kernel, point.version, point.seed) in _TRACE_MEMO:
+        if (point.kernel, point.version, point.seed, point.vl) in _TRACE_MEMO:
             continue
-        groups.setdefault((point.kernel, point.version), {})[point.seed] = point
+        groups.setdefault(
+            (point.kernel, point.version, point.vl), {}
+        )[point.seed] = point
     filled = 0
-    for (kernel, version), by_seed in sorted(groups.items()):
+    for (kernel, version, vl), by_seed in sorted(
+        groups.items(), key=lambda item: (item[0][0], item[0][1], item[0][2] or 0)
+    ):
         missing = []
         for seed, point in sorted(by_seed.items()):
             key = trace_key(point) if store is not None else None
@@ -386,7 +403,9 @@ def acquire_traces(points: Sequence[SweepPoint], store: Any = _USE_DEFAULT) -> i
         from repro.kernels.base import execute_batch
         from repro.kernels.registry import KERNELS
 
-        runs = execute_batch(KERNELS[kernel], version, [s for s, _ in missing])
+        runs = execute_batch(
+            KERNELS[kernel], version, [s for s, _ in missing], vl=vl
+        )
         for (seed, key), run in zip(missing, runs):
             if not run.correct:
                 raise AssertionError(
@@ -397,7 +416,7 @@ def acquire_traces(points: Sequence[SweepPoint], store: Any = _USE_DEFAULT) -> i
             cols = run.trace.columns()
             if key is not None:
                 save_payload(store, "trace", key, trace_to_payload(cols))
-            _memo_put((kernel, version, seed), cols)
+            _memo_put((kernel, version, seed, vl), cols)
             filled += 1
     return filled
 
@@ -434,6 +453,7 @@ def compute_point(point: SweepPoint, store: Any = _USE_DEFAULT) -> KernelTiming:
         batch=spec.batch,
         seed=point.seed,
         machine=point.machine,
+        vl=point.vl,
     )
 
 
@@ -462,10 +482,10 @@ def compute_points(
     if _COMPUTE_BUDGET is not None:
         return [compute_point(p, store) for p in points]
 
-    groups: Dict[Tuple[str, str, int], List[int]] = {}
+    groups: Dict[Tuple[str, str, int, Optional[int]], List[int]] = {}
     for idx, point in enumerate(points):
         groups.setdefault(
-            (point.kernel, point.version, point.seed), []
+            (point.kernel, point.version, point.seed, point.vl), []
         ).append(idx)
     timings: List[Optional[KernelTiming]] = [None] * len(points)
     for indices in groups.values():
@@ -484,6 +504,7 @@ def compute_points(
                 batch=spec.batch,
                 seed=point.seed,
                 machine=point.machine,
+                vl=point.vl,
             )
     return timings  # type: ignore[return-value]
 
@@ -534,7 +555,7 @@ def retime_stack(
         store = default_store()
     if not points:
         return []
-    identities = {(p.kernel, p.version, p.seed) for p in points}
+    identities = {(p.kernel, p.version, p.seed, p.vl) for p in points}
     if len(identities) > 1:
         raise ValueError(
             "retime_stack points must share one trace identity, got "
@@ -554,6 +575,7 @@ def retime_stack(
             batch=spec.batch,
             seed=point.seed,
             machine=point.machine,
+            vl=point.vl,
         )
         payload = kernel_timing_to_dict(timing)
         if store is not None:
@@ -946,10 +968,10 @@ def _run_sweep(
         if _COMPUTE_BUDGET is None:
             # Whole shared-trace groups go through one batched timing
             # pass each; results land (and checkpoint) per point.
-            grouped: "OrderedDict[Tuple[str, str, int], List[Tuple[SweepPoint, Optional[str]]]]" = OrderedDict()
+            grouped: "OrderedDict[Tuple[str, str, int, Optional[int]], List[Tuple[SweepPoint, Optional[str]]]]" = OrderedDict()
             for point, key in pending:
                 grouped.setdefault(
-                    (point.kernel, point.version, point.seed), []
+                    (point.kernel, point.version, point.seed, point.vl), []
                 ).append((point, key))
             for group in grouped.values():
                 timings = compute_points([p for p, _ in group], store)
@@ -1027,5 +1049,5 @@ def _publish_to_memo(results: Dict[SweepPoint, KernelTiming]) -> None:
         if not point.core_overrides and not point.mem_overrides:
             simulator.memo_put(
                 point.kernel, point.version, point.way, point.seed, timing,
-                machine=point.machine,
+                machine=point.machine, vl=point.vl,
             )

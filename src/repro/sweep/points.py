@@ -71,6 +71,12 @@ class SweepPoint:
     core_overrides: Tuple[Tuple[str, Any], ...] = ()
     mem_overrides: Tuple[Tuple[str, Any], ...] = ()
     machine: Optional[str] = None
+    #: Runtime vector length, only meaningful for ``runtime_vl``
+    #: (vector-length-agnostic) program families -- for those it is
+    #: normalised to the geometry's maximum when omitted, since the
+    #: emitted trace depends on it; for every other version it must stay
+    #: ``None`` (rejected otherwise, naming the axis).
+    vl: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -81,6 +87,30 @@ class SweepPoint:
         )
         if self.machine == self.version:
             object.__setattr__(self, "machine", None)
+        from repro.machines import find_geometry
+
+        geometry = find_geometry(self.version)
+        runtime_vl = geometry is not None and geometry.runtime_vl
+        if self.vl is not None and not runtime_vl:
+            raise ValueError(
+                f"point has vl={self.vl!r} but version {self.version!r} "
+                "has no 'vl' axis (only runtime_vl machine families "
+                "take a runtime vector length)"
+            )
+        if runtime_vl:
+            vl = self.vl
+            if vl is None:
+                vl = geometry.row_bytes
+            if isinstance(vl, bool) or not isinstance(vl, int):
+                raise ValueError(
+                    f"'vl' axis must be an integer number of bytes, got {vl!r}"
+                )
+            if vl < 8 or vl & (vl - 1) or vl > geometry.row_bytes:
+                raise ValueError(
+                    f"'vl' axis must be a power of two in "
+                    f"[8, {geometry.row_bytes}], got {vl}"
+                )
+            object.__setattr__(self, "vl", vl)
 
     @property
     def machine_name(self) -> str:
@@ -93,6 +123,8 @@ class SweepPoint:
         text = f"{self.kernel}/{self.version}/{self.way}way"
         if self.machine is not None:
             text += f"@{self.machine}"
+        if self.vl is not None:
+            text += f"/vl{self.vl}"
         if self.seed:
             text += f"/seed{self.seed}"
         for name, value in self.core_overrides + self.mem_overrides:
@@ -116,6 +148,8 @@ class SweepPoint:
         }
         if self.machine is not None:
             data["machine"] = self.machine
+        if self.vl is not None:
+            data["vl"] = self.vl
         return data
 
 
@@ -142,6 +176,7 @@ def point_from_dict(data: Any) -> SweepPoint:
                 (str(k), v) for k, v in data.get("mem_overrides", ())
             ),
             machine=data.get("machine"),
+            vl=None if data.get("vl") is None else int(data["vl"]),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ValueError(f"invalid sweep point {data!r}: {exc}") from None

@@ -114,6 +114,7 @@ class RemoteExecutor(Executor):
         #: one shard does not get handed another.
         self.dead_hosts: set = set()
         self._shard_hosts: Dict[int, Dict[str, str]] = {}
+        self._probed = False
 
     def _default_transport(self) -> Transport:
         raise NotImplementedError
@@ -121,6 +122,34 @@ class RemoteExecutor(Executor):
     def live_hosts(self) -> List[str]:
         """Declared hosts not yet marked dead, in manifest order."""
         return [h for h in self.hosts if h not in self.dead_hosts]
+
+    def _probe_hosts(self, manifest: CampaignManifest, index: int, log) -> None:
+        """Health-probe every live host once, before the first dispatch.
+
+        A cheap ``python -c pass`` round-trip per host: a host that is
+        unreachable (or whose interpreter is broken) is marked dead up
+        front, so no shard pays a full failed dispatch-and-supervise
+        attempt to discover it.  Runs once per campaign; hosts that die
+        *later* are still caught by supervision as before.
+        """
+        if self._probed:
+            return
+        self._probed = True
+        for host in self.live_hosts():
+            try:
+                result = self.transport.run(
+                    host, [self.transport.python(host), "-c", "pass"]
+                )
+            except (TransportError, OSError) as exc:
+                self._mark_dead(
+                    host, manifest, index, f"health probe failed: {exc}", log
+                )
+                continue
+            if result.returncode != 0:
+                self._mark_dead(
+                    host, manifest, index,
+                    f"health probe exited {result.returncode}", log,
+                )
 
     # -- fleet state ------------------------------------------------------
 
@@ -358,6 +387,9 @@ class RemoteExecutor(Executor):
 
     def run_shards(self, manifest, indices, points, log):
         assignment = shard_assignment(points, manifest.shards)
+        indices = list(indices)
+        if indices:
+            self._probe_hosts(manifest, indices[0], log)
         live = self.live_hosts()
         outcomes: Dict[int, ShardOutcome] = {}
         if not live:
@@ -421,6 +453,7 @@ class RemoteExecutor(Executor):
         *local* store root -- so progress accounting, merge and
         promotion never learn that the work moved hosts.
         """
+        self._probe_hosts(manifest, index, log)
         live = self.live_hosts()
         if not live:
             return {}

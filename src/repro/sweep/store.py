@@ -229,6 +229,9 @@ def kernel_timing_to_dict(timing: KernelTiming) -> Dict[str, Any]:
     # (isa, way) record shape is byte-for-byte what it always was.
     if timing.machine is not None:
         payload["machine"] = timing.machine
+    # Likewise the vl axis: only runtime-VL timings carry it.
+    if timing.vl is not None:
+        payload["vl"] = timing.vl
     return payload
 
 
@@ -241,6 +244,7 @@ def kernel_timing_from_dict(data: Dict[str, Any]) -> KernelTiming:
         batch=data["batch"],
         seed=data.get("seed", 0),
         machine=data.get("machine"),
+        vl=data.get("vl"),
     )
 
 

@@ -85,6 +85,9 @@ class KernelTiming:
     #: kernel version's own architected machine (e.g. ``mmx256`` timing
     #: an ``mmx128`` binary); ``None`` for the classic coupled case.
     machine: Optional[str] = None
+    #: Runtime vector length the trace was generated at, for runtime-VL
+    #: program families; ``None`` for every fixed-width version.
+    vl: Optional[int] = None
 
     @property
     def machine_name(self) -> str:
@@ -102,7 +105,7 @@ class KernelTiming:
 #: Bounded in-process memo of recently used kernel timings.  The store
 #: is the system of record; this layer only saves the disk round-trip
 #: for the hot working set of an experiment run.
-_MEMO: "OrderedDict[Tuple[str, str, int, int, Optional[str]], KernelTiming]" = (
+_MEMO: "OrderedDict[Tuple[str, str, int, int, Optional[str], Optional[int]], KernelTiming]" = (
     OrderedDict()
 )
 _MEMO_MAXSIZE = 512
@@ -134,9 +137,10 @@ def memo_put(
     seed: int,
     timing: KernelTiming,
     machine: Optional[str] = None,
+    vl: Optional[int] = None,
 ) -> None:
     """Publish one timing into the memo (used by the sweep engine)."""
-    key = (kernel, version, way, seed, machine)
+    key = (kernel, version, way, seed, machine, vl)
     _MEMO[key] = timing
     _MEMO.move_to_end(key)
     while len(_MEMO) > _MEMO_MAXSIZE:
@@ -149,6 +153,7 @@ def simulate_kernel(
     way: int,
     seed: int = 0,
     machine: Optional[str] = None,
+    vl: Optional[int] = None,
 ) -> KernelTiming:
     """Run ``kernel``'s ``version`` and time it on the ``way``-wide core.
 
@@ -156,27 +161,35 @@ def simulate_kernel(
     version and hardware: an mmx128 binary runs on the mmx128 machine of
     that width); ``machine`` names any other registered machine whose
     program is ``version`` (e.g. ``machine="mmx256"`` with
-    ``version="mmx128"``).  Routed through the result store: a warm
-    store answers without re-simulating.
+    ``version="mmx128"``).  ``vl`` is the runtime vector length for
+    runtime-VL program families (defaulted to the geometry maximum, and
+    rejected elsewhere).  Routed through the result store: a warm store
+    answers without re-simulating.
     """
-    if machine == version:
-        machine = None
-    key = (kernel, version, way, seed, machine)
-    hit = _MEMO.get(key)
-    if hit is not None:
-        _MEMO.move_to_end(key)
-        return hit
     # Imported lazily: repro.sweep depends on this module for the
     # KernelTiming record type.
     from repro.sweep.engine import run_point
     from repro.sweep.points import SweepPoint
 
-    timing = run_point(
-        SweepPoint(
-            kernel=kernel, version=version, way=way, seed=seed, machine=machine
-        )
+    # The point constructor owns the axis normalisation (machine ==
+    # version collapses to None, a runtime-VL version defaults vl);
+    # keying the memo off the normalised fields keeps it coherent with
+    # what the sweep engine publishes.
+    point = SweepPoint(
+        kernel=kernel, version=version, way=way, seed=seed,
+        machine=machine, vl=vl,
     )
-    memo_put(kernel, version, way, seed, timing, machine=machine)
+    key = (point.kernel, point.version, point.way, point.seed,
+           point.machine, point.vl)
+    hit = _MEMO.get(key)
+    if hit is not None:
+        _MEMO.move_to_end(key)
+        return hit
+    timing = run_point(point)
+    memo_put(
+        point.kernel, point.version, point.way, point.seed, timing,
+        machine=point.machine, vl=point.vl,
+    )
     return timing
 
 

@@ -46,7 +46,7 @@ class TestHarness:
         assert set(EXPERIMENTS) == {
             "table1", "table2", "table3", "table4",
             "fig4", "fig5", "fig6", "fig7",
-            "fig4x", "fig5x",
+            "fig4x", "fig5x", "fig4v", "fig5v",
         }
 
     def test_tables_render(self):

@@ -36,6 +36,11 @@ GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
 #: in paper order (also the order the module store warms up in).
 ARTIFACTS = ("table1", "table2", "table3", "table4", "fig4", "fig5", "fig6", "fig7")
 
+#: Registry-extension artefacts over the runtime-VL and tile families,
+#: pinned separately so the eight paper fixtures above stay exactly the
+#: byte streams the original reproduction produced.
+EXTENDED_ARTIFACTS = ("fig4v", "fig5v")
+
 
 @pytest.fixture(scope="module")
 def module_store(tmp_path_factory):
@@ -87,6 +92,38 @@ def test_artifacts_reproduce_warm_with_zero_simulations(module_store):
     before = sweeplib.simulation_count()
     emulations_before = sweeplib.emulation_count()
     for name in ARTIFACTS:
+        assert artifact_json(name) == (GOLDEN_DIR / f"{name}.json").read_text()
+    assert sweeplib.simulation_count() == before
+    assert sweeplib.emulation_count() == emulations_before
+
+
+@pytest.mark.parametrize("name", EXTENDED_ARTIFACTS)
+def test_extended_artifact_matches_golden_cold(name, module_store, request):
+    """fig4v/fig5v (vla + tile families) pinned like the paper set."""
+    text = artifact_json(name)
+    path = GOLDEN_DIR / f"{name}.json"
+    if request.config.getoption("--regen-goldens"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text)
+        pytest.skip(f"regenerated {path.name}")
+    assert path.is_file(), (
+        f"missing fixture {path}; generate it with "
+        "PYTHONPATH=src python -m pytest tests/test_golden_results.py --regen-goldens"
+    )
+    assert text == path.read_text(), (
+        f"{name} deviates from its golden fixture; if the model change is "
+        "intentional, rerun with --regen-goldens and review the diff"
+    )
+
+
+def test_extended_artifacts_reproduce_warm_with_zero_simulations(module_store):
+    """The vl-keyed trace records warm-replay exactly like the paper
+    set: the store alone regenerates fig4v/fig5v with zero simulations
+    and zero emulations."""
+    sweeplib.clear_memory_caches()
+    before = sweeplib.simulation_count()
+    emulations_before = sweeplib.emulation_count()
+    for name in EXTENDED_ARTIFACTS:
         assert artifact_json(name) == (GOLDEN_DIR / f"{name}.json").read_text()
     assert sweeplib.simulation_count() == before
     assert sweeplib.emulation_count() == emulations_before

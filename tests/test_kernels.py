@@ -45,7 +45,14 @@ class TestRegistry:
 
     def test_every_kernel_has_five_versions(self):
         for spec in KERNELS.values():
-            assert set(spec.versions) == set(ALL_VERSIONS)
+            assert set(spec.versions) == set(ALL_VERSIONS) | {"vla", "tile"}
+
+    def test_vla_and_tile_share_the_width_generic_programs(self):
+        """The new families run the paper binaries unchanged: the vla
+        program IS the width-generic mmx function, tile IS the vmmx one."""
+        for spec in KERNELS.values():
+            assert spec.versions["vla"] is spec.versions["mmx128"]
+            assert spec.versions["tile"] is spec.versions["vmmx128"]
 
     def test_app_kernel_map_matches_table2(self):
         assert APP_KERNELS["jpegenc"] == ("rgb", "fdct")

@@ -336,6 +336,65 @@ class ExportBlindTransport(LoopbackTransport):
         return super().run(host, command, timeout=timeout)
 
 
+class UnreachableTransport(LoopbackTransport):
+    """Loopback where one host is unreachable from the very first RPC.
+
+    Models a host that fell over between manifest authoring and campaign
+    launch: every command to it fails at the transport layer.  The
+    command log lets tests assert exactly what was attempted against it.
+    """
+
+    def __init__(self, base, victim):
+        super().__init__(base=base)
+        self.victim = victim
+        self.commands = []
+
+    def run(self, host, command, timeout=None):
+        self.commands.append((host, list(command)))
+        if host == self.victim:
+            raise TransportError(f"injected: host {host!r} unreachable")
+        return super().run(host, command, timeout=timeout)
+
+
+class TestHostHealthProbe:
+    def test_unreachable_host_is_probed_dead_before_any_dispatch(
+        self, tmp_path, monkeypatch, cold_caches
+    ):
+        """The loopback pin for the probe fix: a host that is down at
+        launch is marked dead by the one-command health probe, so no
+        shard ever pays a failed dispatch-and-supervise attempt to it."""
+        reference = _clean_reference(tmp_path, monkeypatch, GRID)
+        manifest = _manifest(tmp_path)
+        transport = UnreachableTransport(str(tmp_path / "lb"), victim="beta")
+        executor = _fleet_executor(manifest, transport)
+        report = run_campaign_quiet(manifest, executor)
+        assert report.ok, report.error
+        assert executor.dead_hosts == {"beta"}
+        # The campaign still produced the byte-identical store...
+        merged = ResultStore(report.merged_root)
+        assert _result_tree(merged) == _result_tree(reference)
+        # ...and the ONLY traffic the dead host ever saw was the single
+        # health-probe command -- zero shard dispatch attempts.
+        to_victim = [cmd for host, cmd in transport.commands if host == "beta"]
+        assert len(to_victim) == 1
+        assert to_victim[0][-2:] == ["-c", "pass"]
+        log_text = manifest.log_path(0).read_text()
+        assert "health probe failed" in log_text
+
+    def test_probe_runs_once_per_campaign(self, tmp_path, cold_caches):
+        manifest = _manifest(tmp_path, shards=2, hosts=("alpha", "bravo"))
+        transport = UnreachableTransport(str(tmp_path / "lb"), victim=None)
+        executor = _fleet_executor(manifest, transport)
+        executor._probe_hosts(manifest, 0, lambda i, m: None)
+        executor._probe_hosts(manifest, 0, lambda i, m: None)
+        probes = [
+            (host, cmd) for host, cmd in transport.commands
+            if cmd[-2:] == ["-c", "pass"]
+        ]
+        assert [host for host, _ in probes] == ["alpha", "bravo"]
+        assert executor.dead_hosts == set()
+
+
 class TestFleetFailover:
     def test_dead_host_rebalances_onto_survivors_byte_identical(
         self, tmp_path, monkeypatch, cold_caches

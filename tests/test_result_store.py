@@ -372,6 +372,92 @@ class TestTraceRecords:
         clear_memory_caches()
 
 
+class TestVlTraceKeyBackCompat:
+    """Growing the ``vl`` trace-key axis must not cool existing stores.
+
+    The rule under test: fixed-width identities never mention ``vl``, so
+    every record key a pre-VL-axis store was written under is the key
+    the grown engine derives today -- a legacy campaign store replays
+    with zero emulations and zero simulations.
+    """
+
+    LEGACY = [
+        SweepPoint("addblock", "mmx64", 2),
+        SweepPoint("addblock", "mmx64", 4),
+        SweepPoint("ycc", "vmmx128", 2),
+        SweepPoint("ycc", "mmx128", 2),
+    ]
+
+    def test_legacy_store_stays_warm_across_the_axis_growth(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+        from repro.sweep import clear_memory_caches, emulation_count, sweep
+
+        clear_memory_caches()
+        sweep(self.LEGACY)
+        # A fresh process over the same store: nothing recomputes.
+        clear_memory_caches()
+        before = emulation_count()
+        report = sweep(self.LEGACY)
+        assert report.simulated == 0
+        assert emulation_count() == before
+        clear_memory_caches()
+
+    def test_legacy_keys_match_handwritten_pre_vl_identity(self):
+        """The exact pre-VL-axis identity dicts still address records."""
+        from repro.machines import find_geometry
+        from repro.sweep import trace_key
+        from repro.sweep.store import record_key
+
+        for point in self.LEGACY:
+            geometry = find_geometry(point.version)
+            identity = {
+                "kernel": point.kernel,
+                "version": point.version,
+                "seed": point.seed,
+            }
+            if geometry is not None:
+                identity["geometry"] = geometry.to_dict()
+            assert trace_key(point) == record_key("trace", identity)
+
+    def test_legacy_point_payloads_have_no_vl_field(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+        from repro.sweep import clear_memory_caches, run_point
+        from repro.sweep.store import kernel_timing_to_dict
+
+        clear_memory_caches()
+        store = ResultStore(tmp_path)
+        timing = run_point(self.LEGACY[0], store)
+        assert "vl" not in self.LEGACY[0].as_dict()
+        assert "vl" not in kernel_timing_to_dict(timing)
+        clear_memory_caches()
+
+    def test_vla_records_roundtrip_with_vl(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+        from repro.sweep import clear_memory_caches, emulation_count, run_point, trace_key
+        from repro.sweep.store import kernel_timing_from_dict, kernel_timing_to_dict
+
+        clear_memory_caches()
+        store = ResultStore(tmp_path)
+        point = SweepPoint("addblock", "vla", 2, vl=8)
+        cold = run_point(point, store)
+        assert cold.vl == 8
+        payload = kernel_timing_to_dict(cold)
+        assert payload["vl"] == 8
+        assert kernel_timing_from_dict(payload) == cold
+        # Warm replay straight from disk: the vl-keyed trace is found.
+        clear_memory_caches()
+        before = emulation_count()
+        warm = run_point(point, store)
+        assert warm == cold
+        assert emulation_count() == before
+        assert store.load(trace_key(point)) is not None
+        clear_memory_caches()
+
+
 class TestDefaultStore:
     def test_env_redirect(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_STORE", str(tmp_path / "redirected"))

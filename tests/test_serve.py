@@ -390,6 +390,104 @@ class TestRetime:
         assert "1024" in json.loads(r.body)["error"]
 
 
+class TestVlAxis:
+    """The runtime-VL axis through the point and retime endpoints."""
+
+    def test_point_vl_against_fixed_width_is_400_naming_axis(self, store):
+        (r,) = drive(app_for(store), (
+            "GET", "/v1/point?kernel=addblock&version=mmx64&way=2&vl=8",
+        ))
+        assert r.status == 400
+        error = json.loads(r.body)["error"]
+        assert "vl" in error and "mmx64" in error
+
+    def test_point_vl_against_machine_alias_is_400(self, store):
+        (r,) = drive(app_for(store), (
+            "GET", "/v1/point?kernel=addblock&machine=mmx256&way=2&vl=8",
+        ))
+        assert r.status == 400
+        assert "vl" in json.loads(r.body)["error"]
+
+    def test_point_vl_must_be_integer(self, store):
+        (r,) = drive(app_for(store), (
+            "GET", "/v1/point?kernel=addblock&version=vla&way=2&vl=wide",
+        ))
+        assert r.status == 400
+        assert "integer" in json.loads(r.body)["error"]
+
+    def test_vla_point_embeds_vl_in_content_address(self, store):
+        vl8 = SweepPoint(kernel="addblock", version="vla", way=2, vl=8)
+        vl16 = SweepPoint(kernel="addblock", version="vla", way=2, vl=16)
+        assert point_key(vl8) != point_key(vl16)
+        run_point(vl8, store=store)
+        (r,) = drive(app_for(store), (
+            "GET", "/v1/point?kernel=addblock&version=vla&way=2&vl=8",
+        ))
+        assert r.status == 200
+        payload = json.loads(r.body)
+        assert payload["point"]["vl"] == 8
+        assert payload["key"] == point_key(vl8)
+        assert payload["timing"]["vl"] == 8
+
+    def test_vla_point_defaults_vl_to_geometry_max(self, store):
+        vl16 = SweepPoint(kernel="addblock", version="vla", way=2)
+        run_point(vl16, store=store)
+        (r,) = drive(app_for(store), (
+            "GET", "/v1/point?kernel=addblock&version=vla&way=2",
+        ))
+        assert r.status == 200
+        payload = json.loads(r.body)
+        assert payload["point"]["vl"] == 16
+        assert payload["key"] == point_key(vl16)
+
+    def test_retime_vl_against_fixed_width_is_400_naming_axis(self, store):
+        body = json.dumps({
+            "kernel": "addblock", "version": "mmx64", "vl": 8,
+            "variants": [{"way": 2}],
+        }).encode()
+        (r,) = drive(app_for(store), ("POST", "/v1/retime", body))
+        assert r.status == 400
+        assert "vl" in json.loads(r.body)["error"]
+
+    def test_retime_vla_stack_carries_vl(self, store):
+        run_point(SweepPoint(kernel="addblock", version="vla", way=2, vl=8),
+                  store=store)
+        body = json.dumps({
+            "kernel": "addblock", "version": "vla", "vl": 8,
+            "variants": [{"way": 2}, {"way": 4}],
+        }).encode()
+        (r,) = drive(app_for(store), ("POST", "/v1/retime", body))
+        assert r.status == 200
+        payload = json.loads(r.body)
+        assert payload["vl"] == 8
+        keys = [row["key"] for row in payload["results"]]
+        assert keys[0] == point_key(
+            SweepPoint(kernel="addblock", version="vla", way=2, vl=8)
+        )
+        assert store.missing(keys) == []
+
+    def test_retime_different_vl_is_a_different_trace(self, store):
+        run_point(SweepPoint(kernel="addblock", version="vla", way=2, vl=8),
+                  store=store)
+        run_point(SweepPoint(kernel="addblock", version="vla", way=2, vl=16),
+                  store=store)
+        bodies = [
+            json.dumps({
+                "kernel": "addblock", "version": "vla", "vl": vl,
+                "variants": [{"way": 2}],
+            }).encode()
+            for vl in (8, 16)
+        ]
+        r8, r16 = drive(
+            app_for(store),
+            ("POST", "/v1/retime", bodies[0]),
+            ("POST", "/v1/retime", bodies[1]),
+        )
+        assert r8.status == 200 and r16.status == 200
+        assert (json.loads(r8.body)["trace_key"]
+                != json.loads(r16.body)["trace_key"])
+
+
 class TestShutdown:
     def test_shutdown_drains_inflight_backfills(self, store):
         """A restart must never half-lose a store write."""

@@ -28,6 +28,7 @@ from repro.sweep import (
     sweep,
     trace_key,
 )
+from repro.sweep.points import reshard_keys, shard_assignment
 from repro.sweep.store import canonical_json, kernel_timing_to_dict
 
 #: A multi-way grid whose points share traces across ways, so the
@@ -259,6 +260,67 @@ class TestResume:
         report = sweep(points, shard=(1, 2), resume=True)
         assert report.resumed == 0
         assert report.simulated == report.total
+
+
+def _vl_grid():
+    """A grid mixing legacy fixed-width points with runtime-VL points
+    at two vector lengths (distinct trace groups) plus tile points."""
+    points = grid(("ycc", "addblock"), ("mmx64", "vmmx128"), (2, 4))
+    for kernel in ("ycc", "addblock"):
+        for vl in (8, 16):
+            for way in (2, 4):
+                points.append(
+                    SweepPoint(kernel=kernel, version="vla", way=way, vl=vl)
+                )
+        points.append(SweepPoint(kernel=kernel, version="tile", way=4))
+    return points
+
+
+class TestVlAwareSharding:
+    """The vl trace-key axis must flow through the partition functions
+    without disturbing their purity or the trace-exclusivity property."""
+
+    def test_shard_assignment_is_pure_with_vl_points(self):
+        points = _vl_grid()
+        assert shard_assignment(points, 3) == shard_assignment(points, 3)
+        merged = [p for piece in shard_assignment(points, 3) for p in piece]
+        assert sorted(merged, key=repr) == sorted(dedupe(points), key=repr)
+
+    def test_vl_variants_are_distinct_trace_groups(self):
+        """vla@8 and vla@16 emulate different dynamic traces, so the
+        partitioner may place them on different hosts; all ways of one
+        (kernel, vl) still travel together."""
+        points = _vl_grid()
+        assignment = shard_assignment(points, 4)
+        for piece in assignment:
+            keys = {trace_key(p) for p in piece}
+            for other in assignment:
+                if other is not piece:
+                    assert not keys & {trace_key(p) for p in other}
+        vl8 = SweepPoint(kernel="ycc", version="vla", way=2, vl=8)
+        vl16 = SweepPoint(kernel="ycc", version="vla", way=2, vl=16)
+        assert trace_key(vl8) != trace_key(vl16)
+        homes = {
+            trace_key(p): i
+            for i, piece in enumerate(assignment)
+            for p in piece
+        }
+        same_trace = SweepPoint(kernel="ycc", version="vla", way=4, vl=8)
+        assert homes[trace_key(vl8)] == homes[trace_key(same_trace)]
+
+    def test_reshard_keys_is_pure_with_vl_points(self):
+        points = _vl_grid()
+        keys = [point_key(p) for p in dedupe(points)[::2]]
+        assert reshard_keys(points, keys, 2) == reshard_keys(points, keys, 2)
+        survivors = [p for piece in reshard_keys(points, keys, 2) for p in piece]
+        assert sorted(survivors, key=repr) == sorted(
+            (p for p in dedupe(points) if point_key(p) in set(keys)), key=repr
+        )
+
+    def test_point_keys_distinguish_vl(self):
+        a = SweepPoint(kernel="ycc", version="vla", way=2, vl=8)
+        b = SweepPoint(kernel="ycc", version="vla", way=2, vl=16)
+        assert point_key(a) != point_key(b)
 
 
 class TestShardedSweepPoint:

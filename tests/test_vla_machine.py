@@ -1,0 +1,268 @@
+"""Differential suite for the runtime-VL (vla) and 2-D tile families.
+
+The two post-2005 machine families execute the paper's kernel binaries
+unchanged: ``vla`` runs the width-generic MMX functions at a runtime
+vector length, ``tile`` runs the VMMX functions on a deeper (32-row)
+register file.  The load-bearing guarantee pinned here is *trace-content
+equality*: the dynamic instruction stream a VLA machine emits at VL k is
+byte-identical (name aside) to the fixed-width family at the matching
+lane count, and the tile stream to VMMX128's -- so the emulation layer
+adds no new semantics, only new timing columns.
+
+Also pinned: the ``vl`` axis through ``SweepPoint``/``trace_key`` (a new
+store axis for runtime-VL programs only -- legacy identities byte-stable),
+batch-emulation coverage for both families under the default and
+``REPRO_EMU_REFERENCE=1`` gates, and the registry capability flags the
+dispatch rests on (never ISA-name sniffing).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emu import Memory, Trace, VLAMachine, TileMachine, make_machine
+from repro.emu.batch import REFERENCE_ENV, BatchMemory, make_batch_machine
+from repro.kernels.base import execute, execute_batch, outputs_equal
+from repro.kernels.registry import KERNELS
+from repro.machines import emu_of, get_machine
+from repro.machines.registry import TILE_GEOMETRY, VLA_GEOMETRY
+from repro.sweep.engine import trace_key
+from repro.sweep.points import SweepPoint, point_from_dict
+
+#: (vla vl, fixed-width family with the matching lane count).
+VL_TWINS = ((8, "mmx64"), (16, "mmx128"))
+
+
+def _content(run):
+    return run.trace.columns().content_digest()
+
+
+# ---------------------------------------------------------------------------
+# Differential: VLA at VL k == fixed-width family at matching lane count
+# ---------------------------------------------------------------------------
+
+
+class TestVlaDifferential:
+    @pytest.mark.parametrize("kernel", sorted(KERNELS))
+    @pytest.mark.parametrize("vl,twin", VL_TWINS)
+    def test_vla_trace_content_equals_fixed_width_twin(self, kernel, vl, twin):
+        spec = KERNELS[kernel]
+        vla = execute(spec, "vla", seed=0, vl=vl)
+        ref = execute(spec, twin, seed=0)
+        assert vla.correct and ref.correct
+        assert _content(vla) == _content(ref), (kernel, vl)
+
+    @pytest.mark.parametrize("kernel", sorted(KERNELS))
+    def test_tile_trace_content_equals_vmmx128(self, kernel):
+        spec = KERNELS[kernel]
+        tile = execute(spec, "tile", seed=0)
+        ref = execute(spec, "vmmx128", seed=0)
+        assert tile.correct and ref.correct
+        assert _content(tile) == _content(ref), kernel
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        kernel=st.sampled_from(sorted(KERNELS)),
+        vl_twin=st.sampled_from(VL_TWINS),
+        seed=st.integers(0, 20),
+    )
+    def test_vla_twin_equality_over_random_seeds(self, kernel, vl_twin, seed):
+        vl, twin = vl_twin
+        spec = KERNELS[kernel]
+        vla = execute(spec, "vla", seed=seed, vl=vl)
+        ref = execute(spec, twin, seed=seed)
+        assert vla.correct and ref.correct
+        assert outputs_equal(vla.output, ref.output)
+        assert _content(vla) == _content(ref)
+
+    def test_vla_defaults_to_maximum_vl(self):
+        spec = KERNELS["addblock"]
+        default = execute(spec, "vla", seed=0)
+        explicit = execute(spec, "vla", seed=0, vl=16)
+        assert default.trace.columns().digest() == explicit.trace.columns().digest()
+
+    def test_content_digest_neutralises_only_the_name(self):
+        spec = KERNELS["addblock"]
+        a = execute(spec, "vla", seed=0, vl=8).trace.columns()
+        b = execute(spec, "mmx64", seed=0).trace.columns()
+        # Full digests differ (the name is part of the store payload)...
+        assert a.digest() != b.digest()
+        # ...content digests agree, and two identical runs agree on both.
+        assert a.content_digest() == b.content_digest()
+        again = execute(spec, "vla", seed=0, vl=8).trace.columns()
+        assert again.digest() == a.digest()
+
+
+# ---------------------------------------------------------------------------
+# Batch emulation: both families, both CI gates
+# ---------------------------------------------------------------------------
+
+
+class TestBatchCoverage:
+    CASES = (("vla", 8), ("vla", 16), ("tile", None))
+
+    @pytest.mark.parametrize("version,vl", CASES)
+    def test_batch_digests_match_reference(self, version, vl, monkeypatch):
+        monkeypatch.delenv(REFERENCE_ENV, raising=False)
+        spec = KERNELS["ycc"]
+        seeds = [0, 1, 2]
+        runs = execute_batch(spec, version, seeds, vl=vl)
+        assert len({id(r.trace) for r in runs}) == 1, "batch path must engage"
+        for seed, run in zip(seeds, runs):
+            ref = execute(spec, version, seed, vl=vl)
+            assert run.correct and ref.correct
+            assert run.trace.columns().digest() == ref.trace.columns().digest()
+
+    @pytest.mark.parametrize("version,vl", CASES)
+    def test_reference_gate_disables_batching(self, version, vl, monkeypatch):
+        monkeypatch.setenv(REFERENCE_ENV, "1")
+        spec = KERNELS["ycc"]
+        runs = execute_batch(spec, version, [0, 1], vl=vl)
+        assert len({id(r.trace) for r in runs}) == 2
+        assert all(r.correct for r in runs)
+
+    def test_divergent_kernel_falls_back_per_seed(self):
+        """ltppar diverges across seeds on every family, including vla."""
+        runs = execute_batch(KERNELS["ltppar"], "vla", [0, 1, 2], vl=8)
+        assert len({id(r.trace) for r in runs}) == 3
+        assert all(r.correct for r in runs)
+
+    def test_batch_factory_rejects_vl_on_fixed_width(self):
+        with pytest.raises(ValueError, match="'vl'"):
+            make_batch_machine("mmx64", BatchMemory(2), Trace(), vl=8)
+
+
+# ---------------------------------------------------------------------------
+# Machine construction and registry capabilities
+# ---------------------------------------------------------------------------
+
+
+class TestMachineConstruction:
+    def test_factory_dispatches_on_registry_capability(self):
+        assert isinstance(make_machine("vla", Memory()), VLAMachine)
+        assert isinstance(make_machine("tile", Memory()), TileMachine)
+        assert emu_of("vla") == "vla"
+        assert emu_of("tile") == "tile"
+        assert emu_of("mmx256") == "mmx"
+
+    def test_registry_flags(self):
+        assert VLA_GEOMETRY.runtime_vl and not VLA_GEOMETRY.matrix
+        assert TILE_GEOMETRY.matrix and not TILE_GEOMETRY.runtime_vl
+        assert get_machine("vla", 4).runtime_vl
+        assert not get_machine("tile", 4).runtime_vl
+        assert not get_machine("mmx128", 4).runtime_vl
+        assert get_machine("tile", 4).geometry.max_vl == 32
+
+    @pytest.mark.parametrize("vl", [0, 1, 4, 7, 12, 32, "8", 8.0, True])
+    def test_vla_rejects_bad_vl(self, vl):
+        with pytest.raises(ValueError):
+            VLAMachine(Memory(), vl=vl)
+
+    def test_vla_machine_width_is_the_vl(self):
+        m = VLAMachine(Memory(), vl=8)
+        assert m.width == 8 and m.vl == 8 and m.isa_name == "vla"
+        assert m.geometry.runtime_vl
+        full = VLAMachine(Memory())
+        assert full.vl == VLA_GEOMETRY.row_bytes
+
+    def test_make_machine_rejects_vl_on_fixed_width(self):
+        with pytest.raises(ValueError, match="'vl'"):
+            make_machine("mmx128", Memory(), vl=8)
+        with pytest.raises(ValueError, match="'vl'"):
+            make_machine("scalar", Memory(), vl=8)
+        with pytest.raises(ValueError, match="'vl'"):
+            make_machine("tile", Memory(), vl=8)
+
+    def test_tile_helpers_compose_existing_instructions(self):
+        mem = Memory()
+        trace = Trace("tile-helpers")
+        m = TileMachine(mem, trace)
+        addr = mem.alloc(16 * 16)
+        base = m.li(addr)
+        t = m.load_tile(base, 4)
+        assert m.vl == 4
+        m.store_tile(t, base, 4)
+        names = {r.name for r in trace.columns()}
+        # Only the existing mnemonic vocabulary: no new trace IR ops.
+        assert "setvl" in names and "vld" in names and "vst" in names
+        assert m.tile_rows(t, "u8").shape == (4, 16)
+
+
+# ---------------------------------------------------------------------------
+# The vl point/trace-key axis
+# ---------------------------------------------------------------------------
+
+
+class TestVlAxis:
+    def test_vla_point_normalises_and_roundtrips(self):
+        p = SweepPoint(kernel="addblock", version="vla", way=2)
+        assert p.vl == 16, "runtime-VL points normalise vl to the maximum"
+        assert p.as_dict()["vl"] == 16
+        assert "vl16" in SweepPoint(
+            kernel="addblock", version="vla", way=2, vl=16
+        ).label
+        assert point_from_dict(p.as_dict()) == p
+
+    def test_fixed_width_point_rejects_vl_naming_axis(self):
+        with pytest.raises(ValueError, match="'vl' axis"):
+            SweepPoint(kernel="addblock", version="mmx128", way=2, vl=8)
+
+    @pytest.mark.parametrize("vl", [0, 3, 32, True])
+    def test_vla_point_rejects_bad_vl(self, vl):
+        with pytest.raises(ValueError):
+            SweepPoint(kernel="addblock", version="vla", way=2, vl=vl)
+
+    def test_legacy_points_have_no_vl_key(self):
+        data = SweepPoint(kernel="addblock", version="mmx128", way=2).as_dict()
+        assert "vl" not in data, "legacy identities must stay byte-stable"
+
+    def test_trace_key_grows_the_axis_for_vla_only(self):
+        vl8 = SweepPoint(kernel="addblock", version="vla", way=2, vl=8)
+        vl16 = SweepPoint(kernel="addblock", version="vla", way=2, vl=16)
+        assert trace_key(vl8) != trace_key(vl16)
+        # The machine axis and way still never reach the trace key.
+        assert trace_key(vl8) == trace_key(
+            SweepPoint(kernel="addblock", version="vla", way=8, vl=8)
+        )
+
+    def test_fixed_width_trace_identity_unchanged_in_shape(self):
+        """The identity dict of a fixed-width trace must not mention vl."""
+        from repro.sweep.store import record_key
+
+        from repro.machines import find_geometry
+
+        point = SweepPoint(kernel="addblock", version="mmx128", way=2)
+        expected = record_key("trace", {
+            "kernel": "addblock",
+            "version": "mmx128",
+            "seed": 0,
+            "geometry": find_geometry("mmx128").to_dict(),
+        })
+        assert trace_key(point) == expected
+
+
+# ---------------------------------------------------------------------------
+# fig4v / fig5v grids
+# ---------------------------------------------------------------------------
+
+
+class TestExtendedArtifacts:
+    def test_fig4v_grid_covers_all_columns(self):
+        from repro.experiments.extended import VLA_TILE_COLUMNS, fig4v_points
+
+        points = fig4v_points()
+        assert len(points) == len(set(points))
+        versions = {(p.version, p.vl) for p in points}
+        for version, vl, _ in VLA_TILE_COLUMNS:
+            normalised = 16 if version == "vla" and vl is None else vl
+            assert (version, normalised) in versions
+
+    def test_fig5v_grid_is_pure_and_deduplicated(self):
+        from repro.experiments.extended import fig5v_points
+
+        a = fig5v_points()
+        b = fig5v_points()
+        assert a == b
+        assert len(a) == len(set(a))
+        assert any(p.version == "vla" for p in a)
+        assert any(p.version == "tile" for p in a)
